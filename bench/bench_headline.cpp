@@ -1,0 +1,45 @@
+// T1 — Headline Graph 500 SSSP result.
+//
+// Runs the official benchmark protocol (sampled roots, per-root validation,
+// harmonic-mean TEPS) at a sweep of scales on the simulated ranks — the
+// miniature of the paper's record submission table.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+  const int roots = static_cast<int>(options.get_int("roots", 8));
+  const int max_scale = static_cast<int>(options.get_int("max-scale", 16));
+
+  util::Table table({"scale", "vertices", "input edges", "ranks", "roots",
+                     "valid", "hmean TEPS", "mean time (s)"});
+  for (int scale = 12; scale <= max_scale; scale += 2) {
+    graph::KroneckerParams params;
+    params.scale = scale;
+    simmpi::World world(ranks);
+    world.run([&](simmpi::Comm& comm) {
+      const graph::DistGraph g = graph::build_kronecker(comm, params);
+      core::RunnerOptions opts;
+      opts.num_roots = roots;
+      const auto report = core::run_benchmark(comm, g, opts);
+      if (comm.rank() == 0) {
+        table.row()
+            .add(scale)
+            .add(static_cast<std::uint64_t>(report.num_vertices))
+            .add(report.num_input_edges)
+            .add(ranks)
+            .add(static_cast<std::uint64_t>(report.runs.size()))
+            .add(report.all_valid ? "yes" : "NO")
+            .add_si(report.harmonic_mean_teps)
+            .add(report.mean_seconds, 4);
+      }
+    });
+  }
+  table.print(std::cout,
+              "T1: Graph500 SSSP official protocol (simulated ranks)");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// F11 (design-choice ablation) — hub cache sizing.
+//
+// Replicating the top-H vertices costs O(H) state per rank plus an
+// H-float min-allreduce per bucket; the benefit is the fraction of
+// relaxation traffic filtered before it reaches the wire.  On power-law
+// graphs the filterable mass concentrates in very few hubs, so the curve
+// saturates quickly — the reason the record configuration replicates only
+// a sliver of the vertex set.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int scale = static_cast<int>(options.get_int("scale", 14));
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+
+  graph::KroneckerParams params;
+  params.scale = scale;
+
+  util::Table table({"hubs", "hub-filtered", "filtered %", "wire bytes",
+                     "sync bytes/bucket", "time (s)"});
+  for (const std::size_t hubs : {0UL, 4UL, 16UL, 64UL, 256UL, 1024UL}) {
+    graph::BuildOptions build;
+    build.hub_count = hubs;
+    core::SsspConfig config = core::SsspConfig::plain();
+    config.coalesce = true;
+    config.hub_cache = hubs > 0;
+    const auto m =
+        bench::measure_sssp(params, ranks, config, 1,
+                            core::Algorithm::kDeltaStepping, false, build);
+    const double generated =
+        static_cast<double>(std::max<std::uint64_t>(1, m.stats.relax_generated));
+    table.row()
+        .add(static_cast<std::uint64_t>(hubs))
+        .add_si(static_cast<double>(m.stats.filtered_hub))
+        .add(100.0 * static_cast<double>(m.stats.filtered_hub) / generated, 1)
+        .add_si(static_cast<double>(m.wire_bytes))
+        .add_si(static_cast<double>(hubs) * sizeof(float) *
+                static_cast<double>(ranks))
+        .add(m.seconds, 4);
+  }
+  table.print(std::cout, "F11: hub cache size sweep, Kronecker scale " +
+                             std::to_string(scale) + ", " +
+                             std::to_string(ranks) + " ranks");
+  std::cout << "\nExpected shape: the filtered fraction rises steeply for "
+               "the first few hubs and\nsaturates (power-law mass "
+               "concentration), while the per-bucket sync cost grows\n"
+               "linearly in H — the optimum replicates a tiny prefix.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Kernel microbenchmarks (google-benchmark): the per-edge costs the
+// projection model is calibrated against, measured in isolation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bucket_queue.hpp"
+#include "core/dijkstra.hpp"
+#include "core/sssp_types.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = util::mix64(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Mix64);
+
+void BM_BucketQueueChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::SplitMix64 rng(1);
+  for (auto _ : state) {
+    core::BucketQueue q(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      q.update(static_cast<LocalId>(i), rng.next_below(64));
+    }
+    std::uint64_t b = 0;
+    while ((b = q.next_nonempty(b)) != core::BucketQueue::kNone) {
+      benchmark::DoNotOptimize(q.extract(b));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BucketQueueChurn)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CoalesceSortDedup(benchmark::State& state) {
+  // The per-round cost of message coalescing: sort + unique on requests.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::SplitMix64 rng(2);
+  std::vector<core::RelaxRequest> base(n);
+  for (auto& r : base) {
+    r.target = rng.next_below(n / 4 + 1);  // ~4x duplication
+    r.parent = rng.next_below(n);
+    r.dist = static_cast<float>(rng.next_double());
+  }
+  for (auto _ : state) {
+    auto box = base;
+    std::sort(box.begin(), box.end(),
+              [](const core::RelaxRequest& a, const core::RelaxRequest& b) {
+                if (a.target != b.target) return a.target < b.target;
+                return a.dist < b.dist;
+              });
+    box.erase(std::unique(box.begin(), box.end(),
+                          [](const core::RelaxRequest& a,
+                             const core::RelaxRequest& b) {
+                            return a.target == b.target;
+                          }),
+              box.end());
+    benchmark::DoNotOptimize(box);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CoalesceSortDedup)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  const auto n = static_cast<LocalId>(state.range(0));
+  util::SplitMix64 rng(3);
+  std::vector<WireEdge> base(static_cast<std::size_t>(n) * 16);
+  for (auto& e : base) {
+    e.src = static_cast<VertexId>(rng.next_below(n));
+    e.dst = rng.next_below(n);
+    e.weight = static_cast<float>(rng.next_double());
+  }
+  for (auto _ : state) {
+    auto edges = base;
+    benchmark::DoNotOptimize(LocalCsr(n, std::move(edges)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_CsrConstruction)->Arg(1 << 10)->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PullIndexBuild(benchmark::State& state) {
+  const auto n = static_cast<LocalId>(state.range(0));
+  util::SplitMix64 rng(4);
+  std::vector<WireEdge> edges(static_cast<std::size_t>(n) * 16);
+  for (auto& e : edges) {
+    e.src = static_cast<VertexId>(rng.next_below(n));
+    e.dst = rng.next_below(n * 8);  // mostly remote neighbours
+    e.weight = static_cast<float>(rng.next_double());
+  }
+  const LocalCsr csr(n, std::move(edges));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PullIndex::from_csr(csr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.num_edges()));
+}
+BENCHMARK(BM_PullIndexBuild)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialDijkstra(benchmark::State& state) {
+  const EdgeList g =
+      random_graph(static_cast<VertexId>(state.range(0)),
+                   static_cast<std::uint64_t>(state.range(0)) * 8, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dijkstra(g, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SequentialDijkstra)->Arg(1 << 12)->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

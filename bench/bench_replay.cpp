@@ -1,0 +1,55 @@
+// F13 (extension) — round-by-round trace replay.
+//
+// Records the exact collective sequence of one SSSP on the simulated ranks
+// and replays it on the New Sunway cost model at several machine sizes —
+// the post-mortem attribution of where time would go at scale (alltoallv
+// bandwidth vs allreduce latency), round by round.
+#include <iostream>
+
+#include "core/delta_stepping.hpp"
+#include "graph/builder.hpp"
+#include "model/replay.hpp"
+#include "simmpi/comm.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int scale = static_cast<int>(options.get_int("scale", 14));
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+
+  graph::KroneckerParams params;
+  params.scale = scale;
+
+  simmpi::World world(ranks);
+  std::vector<graph::DistGraph> graphs(static_cast<std::size_t>(ranks));
+  world.run([&](simmpi::Comm& comm) {
+    graphs[static_cast<std::size_t>(comm.rank())] =
+        graph::build_kronecker(comm, params);
+  });
+  world.reset_stats();
+  world.enable_trace();
+  world.run([&](simmpi::Comm& comm) {
+    (void)core::delta_stepping(
+        comm, graphs[static_cast<std::size_t>(comm.rank())], 1);
+  });
+  const auto trace = world.merged_trace();
+  std::cout << "Recorded " << trace.size()
+            << " collective rounds for one scale-" << scale << " SSSP on "
+            << ranks << " ranks.\n\n";
+
+  const model::Machine machine = model::Machine::new_sunway();
+  for (const std::int64_t nodes : {840LL, 13440LL, 107520LL}) {
+    const auto report = model::replay_trace(trace, machine, nodes, 6, ranks);
+    std::cout << "--- replayed on " << nodes << " New Sunway nodes ("
+              << nodes * machine.cores_per_node << " cores) ---\n";
+    report.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: at small node counts the alltoallv "
+               "bandwidth term dominates;\nat full machine size the "
+               "latency-bound allreduce rounds take over — the\nround-count "
+               "wall the paper's bucket fusion attacks.\n";
+  return 0;
+}

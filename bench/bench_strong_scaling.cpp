@@ -1,0 +1,47 @@
+// F1 — Strong scaling: fixed graph, growing rank count.
+//
+// The paper's strong-scaling figure: time per SSSP and speedup as ranks
+// double on a fixed-scale Kronecker graph.  (All ranks share one host CPU
+// here, so wall-clock speedup saturates; the scalable signals are the
+// per-rank work and traffic columns, which is exactly what the analytic
+// model consumes.)
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int scale = static_cast<int>(options.get_int("scale", 15));
+  const int roots = static_cast<int>(options.get_int("roots", 2));
+
+  graph::KroneckerParams params;
+  params.scale = scale;
+
+  util::Table table({"ranks", "time (s)", "TEPS", "wire bytes", "rounds",
+                     "relax/rank", "valid"});
+  double base_relax_per_rank = 0.0;
+  for (int ranks : {1, 2, 4, 8, 16, 32}) {
+    const auto m = bench::measure_sssp(params, ranks, core::SsspConfig{},
+                                       roots);
+    const double relax_per_rank = static_cast<double>(m.stats.relax_sent) /
+                                  static_cast<double>(ranks);
+    if (ranks == 1) base_relax_per_rank = relax_per_rank;
+    (void)base_relax_per_rank;
+    table.row()
+        .add(ranks)
+        .add(m.seconds, 4)
+        .add_si(m.teps)
+        .add_si(static_cast<double>(m.wire_bytes))
+        .add(m.rounds)
+        .add_si(relax_per_rank)
+        .add(m.valid ? "yes" : "NO");
+  }
+  table.print(std::cout, "F1: strong scaling, Kronecker scale " +
+                             std::to_string(scale));
+  std::cout << "\nExpected shape: per-rank work halves as ranks double; "
+               "round count stays ~flat;\nwall time on this single-CPU host "
+               "saturates (ranks share one core).\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// F2 — Weak scaling: the graph grows with the machine.
+//
+// scale = base + log2(ranks): each rank keeps a constant share of edges,
+// mirroring how the record entry filled the machine.  The figure of merit
+// is TEPS per rank (flat = perfect weak scaling) plus the traffic metrics
+// that the projection model extrapolates from.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int base_scale = static_cast<int>(options.get_int("base-scale", 12));
+  const int roots = static_cast<int>(options.get_int("roots", 2));
+
+  util::Table table({"ranks", "scale", "input edges", "time (s)", "TEPS",
+                     "bytes/edge", "rounds", "valid"});
+  for (int doubling = 0; doubling <= 5; ++doubling) {
+    const int ranks = 1 << doubling;
+    graph::KroneckerParams params;
+    params.scale = base_scale + doubling;
+    const auto m = bench::measure_sssp(params, ranks, core::SsspConfig{},
+                                       roots);
+    table.row()
+        .add(ranks)
+        .add(params.scale)
+        .add(params.num_edges())
+        .add(m.seconds, 4)
+        .add_si(m.teps)
+        .add(static_cast<double>(m.wire_bytes) /
+                 static_cast<double>(params.num_edges()),
+             3)
+        .add(m.rounds)
+        .add(m.valid ? "yes" : "NO");
+  }
+  table.print(std::cout, "F2: weak scaling (scale grows with ranks)");
+  std::cout << "\nExpected shape: bytes/edge stays bounded (hub+coalesce "
+               "filtering), rounds grow\nslowly (~ +1 bucket per scale), so "
+               "modeled weak scaling is near-flat.\n";
+  return 0;
+}

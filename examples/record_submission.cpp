@@ -1,0 +1,90 @@
+// The paper's whole pipeline, miniaturized: a Graph 500 record submission.
+//
+//   1. construct the largest graph this host can hold, distributed over
+//      simulated ranks;
+//   2. run the official SSSP protocol (sampled roots, validation,
+//      harmonic-mean TEPS);
+//   3. record the collective trace of one solve and replay it on the New
+//      Sunway cost model — where would time go at machine scale?
+//   4. calibrate the projection and print the headline: the 140-trillion-
+//      edge entry at 107,520 nodes / ~41.9 million cores.
+//
+//   ./record_submission [--scale 15] [--ranks 8] [--roots 8]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/delta_stepping.hpp"
+#include "core/runner.hpp"
+#include "graph/builder.hpp"
+#include "model/projection.hpp"
+#include "model/replay.hpp"
+#include "simmpi/comm.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  graph::KroneckerParams params;
+  params.scale = static_cast<int>(options.get_int("scale", 15));
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+  const int roots = static_cast<int>(options.get_int("roots", 8));
+
+  std::cout << "=== Stage 1+2: official protocol, scale " << params.scale
+            << " on " << ranks << " simulated ranks ===\n\n";
+  simmpi::World world(ranks);
+  std::vector<graph::DistGraph> graphs(static_cast<std::size_t>(ranks));
+  world.run([&](simmpi::Comm& comm) {
+    graphs[static_cast<std::size_t>(comm.rank())] =
+        graph::build_kronecker(comm, params);
+  });
+
+  core::BenchmarkReport report;
+  world.reset_stats();
+  world.run([&](simmpi::Comm& comm) {
+    core::RunnerOptions opts;
+    opts.num_roots = roots;
+    const auto r = core::run_benchmark(
+        comm, graphs[static_cast<std::size_t>(comm.rank())], opts);
+    if (comm.rank() == 0) report = r;
+    comm.barrier();
+  });
+  report.print(std::cout);
+  if (!report.all_valid) {
+    std::cerr << "validation failed — submission void\n";
+    return EXIT_FAILURE;
+  }
+  const auto protocol_stats = world.aggregate_stats();
+
+  std::cout << "\n=== Stage 3: trace replay on the New Sunway model ===\n\n";
+  world.reset_stats();
+  world.enable_trace();
+  world.run([&](simmpi::Comm& comm) {
+    (void)core::delta_stepping(
+        comm, graphs[static_cast<std::size_t>(comm.rank())],
+        report.runs.front().root);
+  });
+  const auto trace = world.merged_trace();
+  const auto replay = model::replay_trace(
+      trace, model::Machine::new_sunway(), 13440, 6, ranks);
+  replay.print(std::cout);
+
+  std::cout << "\n=== Stage 4: record projection ===\n\n";
+  const auto cal = model::Calibration::from_run(
+      report.stats, protocol_stats, params.num_edges(), report.runs.size(),
+      params.scale);
+  const model::Projection proj(model::Machine::new_sunway(), cal);
+  const auto record = proj.predict(43, 107520);
+  util::Table headline({"headline quantity", "value"});
+  headline.row().add("graph scale").add(record.scale);
+  headline.row().add("input edges").add_si(
+      static_cast<double>(record.input_edges), 1);
+  headline.row().add("nodes").add(static_cast<std::uint64_t>(record.nodes));
+  headline.row().add("cores").add_si(static_cast<double>(record.cores), 1);
+  headline.row().add("projected s/SSSP").add(record.total_seconds, 2);
+  headline.row().add("projected GTEPS").add(record.gteps, 1);
+  headline.row().add("memory feasible").add(record.memory_feasible ? "yes"
+                                                                   : "NO");
+  headline.print(std::cout, "scale-43 record entry (projected)");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,129 @@
+// Road-network scenario: shortest travel times on a city-like grid.
+//
+// The paper's introduction motivates SSSP with route planning; this example
+// shows the same engine on a large-diameter, low-degree graph — the
+// opposite regime from Kronecker — computing door-to-door routes:
+//
+//   * builds an R x C grid (road segments with random travel times),
+//   * runs SSSP from a "depot" corner,
+//   * answers a few point-to-point queries by walking the parent tree,
+//   * compares delta-stepping's round count against Bellman-Ford to show
+//     why buckets matter when the diameter is large.
+//
+//   ./roadnet [--rows 64] [--cols 64] [--ranks 4]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bellman_ford.hpp"
+#include "core/delta_stepping.hpp"
+#include "core/remote.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simmpi/comm.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace g500;
+
+/// Follow parent pointers from `target` back to the root, fetching remote
+/// parents as needed.  Returns the route, target first.
+std::vector<graph::VertexId> trace_route(simmpi::Comm& comm,
+                                         const graph::DistGraph& g,
+                                         const core::SsspResult& mine,
+                                         graph::VertexId root,
+                                         graph::VertexId target) {
+  // Distributed pointer chase: every rank participates in each fetch.
+  std::vector<graph::VertexId> route;
+  graph::VertexId cursor = target;
+  for (std::uint64_t hop = 0; hop <= g.num_vertices; ++hop) {
+    route.push_back(cursor);
+    if (cursor == root) return route;
+    const auto next =
+        core::fetch_values(comm, g.part, {cursor}, mine.parent);
+    if (next[0] == graph::kNoVertex) {
+      route.clear();  // unreachable
+      return route;
+    }
+    cursor = next[0];
+  }
+  route.clear();  // cycle guard: should be impossible on validated output
+  return route;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const auto rows = static_cast<graph::VertexId>(options.get_int("rows", 64));
+  const auto cols = static_cast<graph::VertexId>(options.get_int("cols", 64));
+  const int ranks = static_cast<int>(options.get_int("ranks", 4));
+
+  const graph::EdgeList city = graph::grid_graph(rows, cols, 2024);
+  const graph::VertexId depot = 0;  // north-west corner
+  std::cout << "Road network: " << rows << "x" << cols << " grid, "
+            << city.num_edges() << " road segments, depot at corner 0\n\n";
+
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const graph::DistGraph g = graph::build_distributed(
+        comm, graph::slice_for_rank(city, comm.rank(), comm.size()),
+        city.num_vertices);
+
+    core::SsspStats ds_stats;
+    const core::SsspResult routes =
+        core::delta_stepping(comm, g, depot, {}, &ds_stats);
+    const auto verdict = core::validate_sssp(comm, g, depot, routes);
+
+    core::SsspStats bf_stats;
+    (void)core::bellman_ford(comm, g, depot, {}, &bf_stats);
+
+    // A few destinations across the map.
+    const std::vector<graph::VertexId> destinations = {
+        cols - 1,                    // north-east corner
+        (rows - 1) * cols,           // south-west corner
+        rows * cols - 1,             // south-east corner
+        (rows / 2) * cols + cols / 2 // city centre
+    };
+    const auto dists =
+        core::fetch_values(comm, g.part, destinations, routes.dist);
+
+    std::vector<std::size_t> route_hops;
+    for (const auto d : destinations) {
+      route_hops.push_back(trace_route(comm, g, routes, depot, d).size());
+    }
+
+    const auto ds_rounds = ds_stats.light_iterations;
+    const auto bf_rounds = bf_stats.light_iterations;
+    const auto ds_work = comm.allreduce_sum(ds_stats.relax_generated);
+    const auto bf_work = comm.allreduce_sum(bf_stats.relax_generated);
+
+    if (comm.rank() == 0) {
+      util::Table table({"destination", "travel time", "route hops"});
+      const char* names[] = {"NE corner", "SW corner", "SE corner", "centre"};
+      for (std::size_t i = 0; i < destinations.size(); ++i) {
+        table.row()
+            .add(names[i])
+            .add(static_cast<double>(dists[i]), 3)
+            .add(static_cast<std::uint64_t>(route_hops[i]));
+      }
+      table.print(std::cout, "routes from the depot");
+      std::cout << "\nvalidation: " << (verdict.ok ? "PASS" : "FAIL")
+                << ", reachable intersections: " << verdict.reachable << "\n";
+      // On large-diameter graphs Bellman-Ford needs fewer global rounds
+      // (one per hop level) but re-relaxes settled intersections as better
+      // paths arrive; delta-stepping's buckets trade more, cheaper rounds
+      // for near-minimal total work.
+      std::cout << "delta-stepping: " << ds_work << " relaxations in "
+                << ds_rounds << " rounds; bellman-ford: " << bf_work
+                << " relaxations in " << bf_rounds << " rounds (diameter "
+                << rows + cols - 2 << " hops)\n";
+    }
+    if (!verdict.ok) throw std::runtime_error("validation failed");
+  });
+  return EXIT_SUCCESS;
+}

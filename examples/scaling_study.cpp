@@ -1,0 +1,89 @@
+// Scaling study: from measured runs to a machine-size decision.
+//
+// The workflow a systems group follows before requesting allocation on a
+// big machine, end to end with this library:
+//
+//   1. run the engine on simulated ranks at a few scales,
+//   2. calibrate the analytic machine model from the measurements,
+//   3. sweep machine sizes for the target problem and find the smallest
+//      configuration that hits an SSSP-latency budget.
+//
+//   ./scaling_study [--target-scale 40] [--budget-seconds 2.0] [--ranks 8]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/delta_stepping.hpp"
+#include "core/runner.hpp"
+#include "graph/builder.hpp"
+#include "model/projection.hpp"
+#include "simmpi/comm.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+  const int cal_scale = static_cast<int>(options.get_int("cal-scale", 13));
+  const int target_scale =
+      static_cast<int>(options.get_int("target-scale", 40));
+  const double budget = options.get_double("budget-seconds", 2.0);
+
+  // --- 1. measure ---------------------------------------------------------
+  graph::KroneckerParams params;
+  params.scale = cal_scale;
+  simmpi::World world(ranks);
+  core::SsspStats merged;
+  constexpr std::uint64_t kRuns = 3;
+  world.run([&](simmpi::Comm& comm) {
+    const graph::DistGraph g = graph::build_kronecker(comm, params);
+    for (std::uint64_t i = 0; i < kRuns; ++i) {
+      core::SsspStats local;
+      (void)core::delta_stepping(comm, g, 1 + i, {}, &local);
+      const auto total = core::global_stats(comm, local);
+      if (comm.rank() == 0) merged.merge(total);
+    }
+    comm.barrier();
+  });
+
+  // --- 2. calibrate -------------------------------------------------------
+  const auto cal = model::Calibration::from_run(
+      merged, world.aggregate_stats(), params.num_edges(), kRuns, cal_scale);
+  std::cout << "Calibrated from scale-" << cal_scale << " runs on " << ranks
+            << " simulated ranks: " << cal.wire_bytes_per_input_edge
+            << " wire bytes/edge, " << cal.relax_per_input_edge
+            << " relaxations/edge, " << cal.rounds_per_sssp
+            << " rounds/SSSP.\n\n";
+
+  // --- 3. sweep machine sizes ---------------------------------------------
+  const model::Projection proj(model::Machine::new_sunway(), cal);
+  util::Table table({"nodes", "cores", "predicted s/SSSP", "GTEPS", "fits",
+                     "meets budget"});
+  std::int64_t chosen = -1;
+  for (std::int64_t nodes = 1024;; nodes *= 2) {
+    const auto p =
+        proj.predict(target_scale, std::min<std::int64_t>(nodes, 107520));
+    const bool meets = p.memory_feasible && p.total_seconds <= budget;
+    if (meets && chosen < 0) chosen = p.nodes;
+    table.row()
+        .add(static_cast<std::uint64_t>(p.nodes))
+        .add_si(static_cast<double>(p.cores), 1)
+        .add(p.total_seconds, 3)
+        .add(p.gteps, 1)
+        .add(p.memory_feasible ? "yes" : "NO")
+        .add(meets ? "yes" : "no");
+    if (p.nodes >= 107520) break;  // full machine reached
+  }
+  table.print(std::cout, "machine-size sweep for scale-" +
+                             std::to_string(target_scale) + " SSSP");
+
+  if (chosen > 0) {
+    std::cout << "\nSmallest configuration meeting the " << budget
+              << " s budget: " << chosen << " nodes.\n";
+  } else {
+    std::cout << "\nNo swept configuration meets the " << budget
+              << " s budget; the problem is interconnect-bound — "
+                 "revisit delta/hub settings or relax the budget.\n";
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every experiment (T1-T3, F1-F13 + microbenchmarks) into
+# results/, one file per harness, plus the full test log.
+#
+#   scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+RESULTS_DIR="${2:-results}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: '${BUILD_DIR}' does not look like a configured build tree" >&2
+  echo "hint: cmake -B ${BUILD_DIR} -G Ninja && cmake --build ${BUILD_DIR}" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+
+echo "== tests =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  | tee "${RESULTS_DIR}/tests.txt"
+
+for bench in "${BUILD_DIR}"/bench/bench_*; do
+  [[ -x "${bench}" ]] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name} =="
+  "${bench}" | tee "${RESULTS_DIR}/${name}.txt"
+  echo
+done
+
+echo "All experiment outputs are in ${RESULTS_DIR}/ — compare against"
+echo "EXPERIMENTS.md (shapes, not exact numbers: wall time is host-bound)."

@@ -1,0 +1,93 @@
+// Bucketed priority structure of delta-stepping.
+//
+// Buckets are vectors with *lazy deletion*: when a vertex's distance
+// improves it is pushed into its new bucket and the entry in the old bucket
+// becomes stale; staleness is detected by comparing against the vertex's
+// recorded target bucket.  Every stale entry is discarded exactly once, so
+// the total queue overhead is O(insertions).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::core {
+
+class BucketQueue {
+ public:
+  /// Sentinel: "not queued anywhere" / "no non-empty bucket".
+  static constexpr std::uint64_t kNone =
+      std::numeric_limits<std::uint64_t>::max();
+
+  explicit BucketQueue(std::size_t num_vertices)
+      : position_(num_vertices, kNone) {}
+
+  /// Queue vertex v for bucket b (moving it if queued elsewhere).
+  void update(graph::LocalId v, std::uint64_t bucket) {
+    if (position_[v] == bucket) return;  // already queued there
+    position_[v] = bucket;
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
+    buckets_[bucket].push_back(v);
+    ++queued_;
+  }
+
+  /// The bucket v is currently queued for (kNone if not queued).
+  [[nodiscard]] std::uint64_t position(graph::LocalId v) const {
+    return position_[v];
+  }
+
+  /// Remove and return all valid members of bucket k (they become
+  /// unqueued).  Stale entries encountered are dropped.
+  std::vector<graph::LocalId> extract(std::uint64_t k) {
+    std::vector<graph::LocalId> valid;
+    if (k >= buckets_.size()) return valid;
+    valid.reserve(buckets_[k].size());
+    for (const auto v : valid_sweep(k)) {
+      position_[v] = kNone;
+      valid.push_back(v);
+    }
+    buckets_[k].clear();
+    return valid;
+  }
+
+  /// Smallest bucket >= from containing a valid entry, or kNone.
+  [[nodiscard]] std::uint64_t next_nonempty(std::uint64_t from) {
+    for (std::uint64_t b = from; b < buckets_.size(); ++b) {
+      compact(b);
+      if (!buckets_[b].empty()) return b;
+    }
+    return kNone;
+  }
+
+  /// Total update() calls that enqueued something (stale entries included).
+  [[nodiscard]] std::uint64_t total_queued() const noexcept { return queued_; }
+
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return buckets_.size();
+  }
+
+ private:
+  /// Drop stale entries of bucket b in place.
+  void compact(std::uint64_t b) {
+    auto& bucket = buckets_[b];
+    std::size_t keep = 0;
+    for (const auto v : bucket) {
+      if (position_[v] == b) bucket[keep++] = v;
+    }
+    bucket.resize(keep);
+  }
+
+  /// View of valid entries (after compaction).
+  const std::vector<graph::LocalId>& valid_sweep(std::uint64_t k) {
+    compact(k);
+    return buckets_[k];
+  }
+
+  std::vector<std::vector<graph::LocalId>> buckets_;
+  std::vector<std::uint64_t> position_;
+  std::uint64_t queued_ = 0;
+};
+
+}  // namespace g500::core

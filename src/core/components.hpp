@@ -1,0 +1,44 @@
+// Distributed connected components by min-label propagation.
+//
+// Labels every vertex with the smallest vertex id in its component.
+// Built on the same owner-computes substrate as the SSSP engines: rounds
+// of neighbour exchanges (coalesced per destination) until no label
+// improves anywhere.  Used by the evaluation to characterize the Kronecker
+// graphs (one giant component plus isolated-vertex dust) and by examples
+// as a reachability preflight before shortest-path queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+struct ComponentsStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t labels_sent = 0;
+  std::uint64_t labels_applied = 0;
+  double seconds = 0.0;
+};
+
+/// Per-owned-vertex component labels (label == smallest global id in the
+/// component; isolated vertices label themselves).
+[[nodiscard]] std::vector<graph::VertexId> connected_components(
+    simmpi::Comm& comm, const graph::DistGraph& g,
+    ComponentsStats* stats = nullptr);
+
+/// Summary over a labelling: component count and the size of the largest
+/// component (global, identical on every rank).
+struct ComponentsSummary {
+  std::uint64_t num_components = 0;
+  std::uint64_t largest_size = 0;
+  std::uint64_t isolated_vertices = 0;  ///< components of size 1
+};
+
+[[nodiscard]] ComponentsSummary summarize_components(
+    simmpi::Comm& comm, const graph::DistGraph& g,
+    const std::vector<graph::VertexId>& labels);
+
+}  // namespace g500::core

@@ -1,0 +1,422 @@
+#include "core/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/bucket_queue.hpp"
+#include "simmpi/hierarchical.hpp"
+#include "util/timer.hpp"
+
+namespace g500::core {
+
+using graph::kInfDistance;
+using graph::kNoVertex;
+using graph::LocalId;
+using graph::VertexId;
+using graph::Weight;
+
+double auto_delta(const graph::DistGraph& g) {
+  const double avg_degree =
+      std::max(1.0, static_cast<double>(g.num_directed_edges) /
+                        static_cast<double>(g.num_vertices));
+  return std::clamp(1.0 / avg_degree, 1.0 / 64.0, 1.0);
+}
+
+namespace {
+
+/// All per-run state of one rank's engine.
+class Engine {
+ public:
+  Engine(simmpi::Comm& comm, const graph::DistGraph& g,
+         const std::vector<VertexId>& roots, const SsspConfig& config,
+         SsspStats& stats)
+      : comm_(comm),
+        g_(g),
+        config_(config),
+        stats_(stats),
+        local_n_(static_cast<std::size_t>(g.part.count(comm.rank()))),
+        my_begin_(g.part.begin(comm.rank())),
+        delta_(config.delta > 0.0 ? config.delta : auto_delta(g)),
+        queue_(local_n_),
+        dist_(local_n_, kInfDistance),
+        parent_(local_n_, kNoVertex),
+        r_tag_(local_n_, BucketQueue::kNone),
+        outbox_(static_cast<std::size_t>(comm.size())),
+        use_compression_(config.compress &&
+                         g.num_vertices <=
+                             std::numeric_limits<std::uint32_t>::max()) {
+    if (roots.empty()) {
+      throw std::invalid_argument("delta_stepping: no roots");
+    }
+    for (const auto root : roots) {
+      if (root >= g.num_vertices) {
+        throw std::out_of_range("delta_stepping: root out of range");
+      }
+    }
+    precompute_splits();
+    init_hub_cache();
+    // Pull rounds are only safe when EVERY rank that stores edges also has
+    // a pull index for them; a rank-local check would diverge (e.g. a rank
+    // owning only isolated vertices has an empty index) and desynchronize
+    // the collective schedule.  Agree once, globally.
+    const bool local_pull_ok =
+        g.pull.num_entries() > 0 || g.csr.num_edges() == 0;
+    pull_available_ = config.direction_opt && !comm.allreduce_or(!local_pull_ok);
+    for (const auto root : roots) {
+      if (g_.part.owner(root) == comm_.rank()) {
+        const auto lr = g_.part.local(root);
+        dist_[lr] = 0.0f;
+        parent_[lr] = root;
+        queue_.update(lr, 0);
+      }
+    }
+  }
+
+  SsspResult run() {
+    util::Timer total;
+    std::uint64_t k_hint = 0;
+    while (true) {
+      const std::uint64_t k_local = queue_.next_nonempty(k_hint);
+      const std::uint64_t k = comm_.allreduce_min(k_local);
+      if (k == BucketQueue::kNone) break;
+      ++stats_.buckets_processed;
+      if (config_.max_buckets != 0 &&
+          stats_.buckets_processed > config_.max_buckets) {
+        throw std::runtime_error("delta_stepping: max_buckets exceeded");
+      }
+      process_bucket(k);
+      k_hint = k + 1;
+    }
+    stats_.total_seconds = total.seconds();
+
+    SsspResult result;
+    result.dist = std::move(dist_);
+    result.parent = std::move(parent_);
+    return result;
+  }
+
+ private:
+  // -------------------------------------------------------------- setup
+
+  void precompute_splits() {
+    split_.resize(local_n_);
+    for (LocalId u = 0; u < static_cast<LocalId>(local_n_); ++u) {
+      split_[u] = g_.csr.split_at(u, static_cast<Weight>(delta_));
+    }
+    if (config_.direction_opt && g_.pull.num_entries() > 0) {
+      pull_split_.resize(g_.pull.num_sources());
+      for (std::size_t i = 0; i < g_.pull.num_sources(); ++i) {
+        pull_split_[i] =
+            g_.pull.split_at(g_.pull.range(i), static_cast<Weight>(delta_));
+      }
+    }
+  }
+
+  void init_hub_cache() {
+    if (!config_.hub_cache || g_.hubs.empty()) return;
+    hub_mirror_.assign(g_.hubs.size(), kInfDistance);
+    hub_index_.reserve(g_.hubs.size() * 2);
+    for (std::size_t i = 0; i < g_.hubs.size(); ++i) {
+      hub_index_.emplace(g_.hubs[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // ------------------------------------------------------------ relaxing
+
+  [[nodiscard]] std::uint64_t bucket_of(Weight d) const {
+    return static_cast<std::uint64_t>(static_cast<double>(d) / delta_);
+  }
+
+  /// Apply a candidate to an owned vertex.  Returns true if it improved.
+  bool relax_local(LocalId v, Weight cand, VertexId via) {
+    if (!(cand < dist_[v])) return false;
+    dist_[v] = cand;
+    parent_[v] = via;
+    queue_.update(v, bucket_of(cand));
+    ++stats_.relax_applied;
+    return true;
+  }
+
+  /// Route one candidate produced by a push phase: hub filter, local
+  /// fusion, or the outbox.
+  void route_candidate(VertexId target, Weight cand, VertexId via) {
+    ++stats_.relax_generated;
+    const int owner = g_.part.owner(target);
+    const bool is_local = owner == comm_.rank();
+
+    if (!hub_mirror_.empty()) {
+      const auto it = hub_index_.find(target);
+      if (it != hub_index_.end()) {
+        // The filter reference must never undercut the owner's authoritative
+        // distance, or improving candidates would be dropped; mirrors only
+        // carry values that were (or will be this round) delivered to the
+        // owner, so mirror >= authoritative always holds.
+        const Weight ref = is_local ? dist_[g_.part.local(target)]
+                                    : hub_mirror_[it->second];
+        if (!(cand < ref)) {
+          ++stats_.filtered_hub;
+          return;
+        }
+        if (!is_local) hub_mirror_[it->second] = cand;
+      }
+    }
+
+    if (is_local && config_.local_fusion) {
+      relax_local(g_.part.local(target), cand, via);
+      ++stats_.fused_local;
+      return;
+    }
+    outbox_[static_cast<std::size_t>(owner)].push_back(
+        RelaxRequest{target, via, cand});
+  }
+
+  /// Dedup outboxes (keep the best candidate per target) and exchange.
+  void exchange_and_apply() {
+    if (config_.coalesce) {
+      for (auto& box : outbox_) {
+        if (box.size() < 2) continue;
+        std::sort(box.begin(), box.end(),
+                  [](const RelaxRequest& a, const RelaxRequest& b) {
+                    if (a.target != b.target) return a.target < b.target;
+                    if (a.dist != b.dist) return a.dist < b.dist;
+                    return a.parent < b.parent;
+                  });
+        const auto last = std::unique(
+            box.begin(), box.end(), [](const RelaxRequest& a,
+                                       const RelaxRequest& b) {
+              return a.target == b.target;
+            });
+        stats_.filtered_coalesce +=
+            static_cast<std::uint64_t>(box.end() - last);
+        box.erase(last, box.end());
+      }
+    }
+    for (const auto& box : outbox_) stats_.relax_sent += box.size();
+    if (use_compression_) {
+      exchange_packed();
+    } else {
+      const std::vector<RelaxRequest> incoming =
+          config_.hierarchical_group > 1
+              ? simmpi::two_level_alltoallv(comm_, outbox_,
+                                            config_.hierarchical_group)
+              : comm_.alltoallv(outbox_);
+      stats_.relax_received += incoming.size();
+      for (const auto& req : incoming) {
+        relax_local(g_.part.local(req.target), req.dist, req.parent);
+      }
+    }
+    for (auto& box : outbox_) box.clear();
+  }
+
+  /// Compressed exchange: 12-byte records, target pre-localized to the
+  /// owner's index space (sender knows the owner's block base).
+  void exchange_packed() {
+    const int P = comm_.size();
+    std::vector<std::vector<PackedRelaxRequest>> packed(
+        static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      const VertexId base = g_.part.begin(d);
+      auto& box = packed[static_cast<std::size_t>(d)];
+      box.reserve(outbox_[static_cast<std::size_t>(d)].size());
+      for (const auto& req : outbox_[static_cast<std::size_t>(d)]) {
+        box.push_back(PackedRelaxRequest{
+            static_cast<std::uint32_t>(req.target - base),
+            static_cast<std::uint32_t>(req.parent), req.dist});
+      }
+    }
+    const std::vector<PackedRelaxRequest> incoming =
+        config_.hierarchical_group > 1
+            ? simmpi::two_level_alltoallv(comm_, packed,
+                                          config_.hierarchical_group)
+            : comm_.alltoallv(packed);
+    stats_.relax_received += incoming.size();
+    for (const auto& req : incoming) {
+      relax_local(static_cast<LocalId>(req.target_local), req.dist,
+                  req.parent);
+    }
+  }
+
+  // -------------------------------------------------------- bucket logic
+
+  /// Should this inner round pull instead of push?  Decided from global
+  /// totals, so all ranks agree.
+  [[nodiscard]] bool choose_pull(std::uint64_t active_global,
+                                 std::uint64_t light_edges_global) const {
+    if (!pull_available_) return false;
+    const double fraction = static_cast<double>(active_global) /
+                            static_cast<double>(g_.num_vertices);
+    if (fraction < config_.pull_threshold) return false;
+    const double push_bytes =
+        static_cast<double>(light_edges_global) * sizeof(RelaxRequest);
+    const double pull_bytes = static_cast<double>(active_global) *
+                              sizeof(FrontierEntry) *
+                              static_cast<double>(comm_.size());
+    return push_bytes > pull_bytes * config_.pull_bias;
+  }
+
+  void push_round(const std::vector<LocalId>& active, bool light,
+                  std::uint64_t k) {
+    (void)k;
+    for (const auto v : active) {
+      const std::uint64_t first = light ? g_.csr.edges_begin(v) : split_[v];
+      const std::uint64_t last = light ? split_[v] : g_.csr.edges_end(v);
+      const Weight d = dist_[v];
+      const VertexId via = my_begin_ + v;
+      for (std::uint64_t e = first; e < last; ++e) {
+        route_candidate(g_.csr.dst(e), d + g_.csr.weight(e), via);
+      }
+    }
+    exchange_and_apply();
+  }
+
+  void pull_round(const std::vector<LocalId>& active) {
+    std::vector<FrontierEntry> frontier;
+    frontier.reserve(active.size());
+    for (const auto v : active) {
+      frontier.push_back(FrontierEntry{my_begin_ + v, dist_[v]});
+    }
+    stats_.frontier_broadcast += frontier.size();
+    const std::vector<FrontierEntry> global = comm_.allgatherv(frontier);
+    for (const auto& fe : global) {
+      std::size_t idx = 0;
+      const auto range = g_.pull.find(fe.vertex, &idx);
+      if (range.empty()) continue;
+      // Light entries only: [range.first, pull_split_[idx]).
+      for (std::uint64_t e = range.first; e < pull_split_[idx]; ++e) {
+        ++stats_.relax_generated;
+        relax_local(g_.pull.dst(e), fe.dist + g_.pull.weight(e), fe.vertex);
+      }
+    }
+  }
+
+  void process_bucket(std::uint64_t k) {
+    util::Timer phase;
+    util::Timer bucket_timer;
+    std::vector<LocalId> settled;  // the R set for the heavy phase
+    BucketTraceRow row;
+    row.bucket = k;
+
+    while (true) {
+      std::vector<LocalId> active = queue_.extract(k);
+      for (const auto v : active) {
+        if (r_tag_[v] != k) {
+          r_tag_[v] = k;
+          settled.push_back(v);
+        }
+      }
+      std::uint64_t light_edges = 0;
+      for (const auto v : active) {
+        light_edges += split_[v] - g_.csr.edges_begin(v);
+      }
+      const auto totals = comm_.allreduce_vec<std::uint64_t>(
+          {active.size(), light_edges},
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+      if (totals[0] == 0) break;  // bucket k drained everywhere
+      ++stats_.light_iterations;
+      ++row.light_rounds;
+      row.frontier_total += totals[0];
+      stats_.frontier_hist.add(totals[0]);
+
+      if (choose_pull(totals[0], totals[1])) {
+        ++stats_.pull_rounds;
+        pull_round(active);
+      } else {
+        ++stats_.push_rounds;
+        push_round(active, /*light=*/true, k);
+      }
+    }
+    stats_.light_seconds += phase.seconds();
+
+    sync_hub_mirrors();
+
+    phase.reset();
+    ++stats_.heavy_phases;
+    push_round(settled, /*light=*/false, k);
+    stats_.heavy_seconds += phase.seconds();
+
+    if (config_.collect_bucket_trace) {
+      row.settled = settled.size();
+      row.seconds = bucket_timer.seconds();
+      stats_.bucket_trace.push_back(row);
+    }
+  }
+
+  /// Tighten every mirror to the owner's authoritative distance (cheap:
+  /// one H-length min-allreduce per bucket).
+  void sync_hub_mirrors() {
+    if (hub_mirror_.empty()) return;
+    std::vector<Weight> contribution(hub_mirror_.size());
+    for (std::size_t i = 0; i < g_.hubs.size(); ++i) {
+      const VertexId h = g_.hubs[i];
+      contribution[i] = g_.part.owner(h) == comm_.rank()
+                            ? dist_[g_.part.local(h)]
+                            : hub_mirror_[i];
+    }
+    hub_mirror_ = comm_.allreduce_vec<Weight>(
+        contribution, [](Weight a, Weight b) { return b < a ? b : a; });
+  }
+
+  // ------------------------------------------------------------- members
+
+  simmpi::Comm& comm_;
+  const graph::DistGraph& g_;
+  const SsspConfig& config_;
+  SsspStats& stats_;
+
+  std::size_t local_n_;
+  VertexId my_begin_;
+  double delta_;
+
+  BucketQueue queue_;
+  std::vector<Weight> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint64_t> r_tag_;
+  std::vector<std::uint64_t> split_;       // light/heavy boundary per vertex
+  std::vector<std::uint64_t> pull_split_;  // same for pull source groups
+
+  std::unordered_map<VertexId, std::uint32_t> hub_index_;
+  std::vector<Weight> hub_mirror_;
+
+  std::vector<std::vector<RelaxRequest>> outbox_;
+  bool use_compression_;
+  bool pull_available_ = false;
+};
+
+}  // namespace
+
+SsspResult delta_stepping(simmpi::Comm& comm, const graph::DistGraph& g,
+                          VertexId root, const SsspConfig& config,
+                          SsspStats* stats) {
+  SsspStats local_stats;
+  Engine engine(comm, g, {root}, config,
+                stats != nullptr ? *stats : local_stats);
+  return engine.run();
+}
+
+SsspResult delta_stepping_multi(simmpi::Comm& comm, const graph::DistGraph& g,
+                                const std::vector<VertexId>& roots,
+                                const SsspConfig& config, SsspStats* stats) {
+  SsspStats local_stats;
+  Engine engine(comm, g, roots, config,
+                stats != nullptr ? *stats : local_stats);
+  return engine.run();
+}
+
+SequentialResult gather_result(simmpi::Comm& comm, const graph::DistGraph& g,
+                               const SsspResult& mine) {
+  // Block partitions are contiguous in rank order, so concatenating the
+  // per-rank slices yields globally-indexed vectors directly.
+  SequentialResult whole;
+  whole.dist = comm.allgatherv(mine.dist);
+  whole.parent = comm.allgatherv(mine.parent);
+  if (whole.dist.size() != g.num_vertices ||
+      whole.parent.size() != g.num_vertices) {
+    throw std::logic_error("gather_result: size mismatch");
+  }
+  return whole;
+}
+
+}  // namespace g500::core

@@ -1,0 +1,56 @@
+// Distributed delta-stepping SSSP — the paper's primary contribution.
+//
+// Owner-computes over a 1-D block partition: each rank holds the tentative
+// distance, parent and bucket position of its owned vertices.  The engine
+// runs the classic Meyer-Sanders bucket schedule (light-edge inner rounds
+// until the bucket drains, then one heavy-edge phase), with the
+// record-scale optimizations as independently switchable features:
+//
+//   * message coalescing  — per-destination dedup, min candidate per target;
+//   * hub caching         — replicated tentative distances for the top-degree
+//                           vertices filter most traffic aimed at them;
+//   * direction switching — dense frontiers are broadcast once (pull) instead
+//                           of pushing a message per cut edge;
+//   * local fusion        — relaxations that stay on-rank are applied
+//                           immediately, skipping the exchange entirely.
+//
+// Call SPMD-style from inside simmpi::World::run; every rank passes its own
+// DistGraph piece and receives its owned slice of the result.
+#pragma once
+
+#include "core/dijkstra.hpp"
+#include "core/sssp_types.hpp"
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+/// Run one SSSP from `root`.  `stats`, when non-null, receives this rank's
+/// execution counters.  Deterministic for a fixed (graph, root, config,
+/// rank count).
+[[nodiscard]] SsspResult delta_stepping(simmpi::Comm& comm,
+                                        const graph::DistGraph& g,
+                                        graph::VertexId root,
+                                        const SsspConfig& config = {},
+                                        SsspStats* stats = nullptr);
+
+/// Multi-source variant: distance to the *nearest* of `roots` (all start
+/// at distance 0 and act as their own parents).  Equivalent to adding a
+/// zero-weight super-source; used for nearest-facility queries.  `roots`
+/// must be non-empty and identical on every rank.
+[[nodiscard]] SsspResult delta_stepping_multi(
+    simmpi::Comm& comm, const graph::DistGraph& g,
+    const std::vector<graph::VertexId>& roots, const SsspConfig& config = {},
+    SsspStats* stats = nullptr);
+
+/// The delta the engine would choose for this graph when config.delta <= 0:
+/// 1 / average directed degree, clamped to [1/64... 1].
+[[nodiscard]] double auto_delta(const graph::DistGraph& g);
+
+/// Gather a distributed result into full global vectors on every rank
+/// (test/example helper; materializes O(n) per rank).
+[[nodiscard]] SequentialResult gather_result(simmpi::Comm& comm,
+                                             const graph::DistGraph& g,
+                                             const SsspResult& mine);
+
+}  // namespace g500::core

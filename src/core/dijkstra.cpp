@@ -1,0 +1,84 @@
+#include "core/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace g500::core {
+
+using graph::kInfDistance;
+using graph::kNoVertex;
+using graph::VertexId;
+using graph::Weight;
+
+SequentialResult dijkstra(const graph::EdgeList& graph, VertexId root) {
+  const VertexId n = graph.num_vertices;
+  if (root >= n) throw std::out_of_range("dijkstra: root out of range");
+
+  // Build a cleaned adjacency (both directions, no self-loops, min-weight
+  // duplicates) mirroring the distributed builder.
+  struct Adj {
+    VertexId dst;
+    Weight w;
+  };
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  std::vector<Adj> adj;
+  {
+    struct Dir {
+      VertexId src, dst;
+      Weight w;
+    };
+    std::vector<Dir> dirs;
+    dirs.reserve(graph.edges.size() * 2);
+    for (const auto& e : graph.edges) {
+      if (e.src == e.dst) continue;
+      if (e.src >= n || e.dst >= n) {
+        throw std::out_of_range("dijkstra: edge endpoint >= n");
+      }
+      dirs.push_back({e.src, e.dst, e.weight});
+      dirs.push_back({e.dst, e.src, e.weight});
+    }
+    std::sort(dirs.begin(), dirs.end(), [](const Dir& a, const Dir& b) {
+      if (a.src != b.src) return a.src < b.src;
+      if (a.dst != b.dst) return a.dst < b.dst;
+      return a.w < b.w;
+    });
+    dirs.erase(std::unique(dirs.begin(), dirs.end(),
+                           [](const Dir& a, const Dir& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               dirs.end());
+    adj.reserve(dirs.size());
+    for (const auto& d : dirs) {
+      ++offsets[d.src + 1];
+      adj.push_back({d.dst, d.w});
+    }
+    for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  }
+
+  SequentialResult result;
+  result.dist.assign(n, kInfDistance);
+  result.parent.assign(n, kNoVertex);
+  result.dist[root] = 0.0f;
+  result.parent[root] = root;
+
+  using HeapEntry = std::pair<Weight, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push({0.0f, root});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.dist[u]) continue;  // stale entry
+    for (std::uint64_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      const Weight cand = d + adj[e].w;
+      if (cand < result.dist[adj[e].dst]) {
+        result.dist[adj[e].dst] = cand;
+        result.parent[adj[e].dst] = u;
+        heap.push({cand, adj[e].dst});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace g500::core

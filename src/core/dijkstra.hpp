@@ -1,0 +1,22 @@
+// Sequential Dijkstra: the correctness oracle every distributed engine is
+// tested against, and the single-node baseline in the comparison benchmark.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "core/sssp_types.hpp"
+
+namespace g500::core {
+
+/// Full-graph SSSP result (indexed by global vertex id).
+struct SequentialResult {
+  std::vector<graph::Weight> dist;
+  std::vector<graph::VertexId> parent;
+};
+
+/// Binary-heap Dijkstra over an undirected EdgeList (self-loops ignored,
+/// parallel edges resolved to minimum weight — the same cleaning the
+/// distributed builder applies).  O((n + m) log n).
+[[nodiscard]] SequentialResult dijkstra(const graph::EdgeList& graph,
+                                        graph::VertexId root);
+
+}  // namespace g500::core

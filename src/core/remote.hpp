@@ -1,0 +1,67 @@
+// Distributed value lookup: fetch per-vertex values owned by other ranks.
+//
+// The validation checks need remote tentative distances / parent anchors;
+// this helper turns "give me value[v] for these global ids" into two
+// alltoallv rounds (queries out, answers back) while preserving the
+// caller's query order.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "graph/types.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+/// For each global vertex id in `queries` (any owner, duplicates fine),
+/// return the owner's `local_values[local(id)]`, in query order.
+/// `local_values` must hold this rank's owned values.  SPMD: every rank
+/// must call this, even with empty queries.
+template <typename T>
+std::vector<T> fetch_values(simmpi::Comm& comm,
+                            const graph::BlockPartition& part,
+                            const std::vector<graph::VertexId>& queries,
+                            const std::vector<T>& local_values) {
+  const int P = comm.size();
+  std::vector<std::vector<graph::VertexId>> ask(static_cast<std::size_t>(P));
+  // Remember where each query goes so answers can be re-interleaved.
+  std::vector<int> query_rank(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const int owner = part.owner(queries[i]);
+    query_rank[i] = owner;
+    ask[static_cast<std::size_t>(owner)].push_back(queries[i]);
+  }
+
+  const auto incoming = comm.alltoallv_by_src(ask);
+
+  // Answer every incoming query from local storage, preserving order.
+  std::vector<std::vector<T>> answers(static_cast<std::size_t>(P));
+  for (int s = 0; s < P; ++s) {
+    answers[static_cast<std::size_t>(s)].reserve(
+        incoming[static_cast<std::size_t>(s)].size());
+    for (const auto v : incoming[static_cast<std::size_t>(s)]) {
+      if (part.owner(v) != comm.rank()) {
+        throw std::logic_error("fetch_values: query routed to wrong owner");
+      }
+      answers[static_cast<std::size_t>(s)].push_back(
+          local_values.at(part.local(v)));
+    }
+  }
+
+  const auto replies = comm.alltoallv_by_src(answers);
+
+  // Replies from rank r arrive in the order we asked rank r; walk per-rank
+  // cursors to restore the original interleaving.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(P), 0);
+  std::vector<T> result(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto r = static_cast<std::size_t>(query_rank[i]);
+    result[i] = replies[r].at(cursor[r]++);
+  }
+  return result;
+}
+
+}  // namespace g500::core

@@ -1,0 +1,180 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/bellman_ford.hpp"
+#include "core/bfs.hpp"
+#include "core/delta_stepping.hpp"
+#include "core/validate.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace g500::core {
+
+using graph::VertexId;
+
+std::vector<VertexId> sample_roots(simmpi::Comm& comm,
+                                   const graph::DistGraph& g, int count,
+                                   std::uint64_t seed) {
+  std::vector<VertexId> roots;
+  if (count <= 0) return roots;
+  util::SplitMix64 rng(seed);  // identical stream on every rank
+  const std::uint64_t max_attempts =
+      100 * static_cast<std::uint64_t>(count) + 1000;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && roots.size() < static_cast<std::size_t>(count);
+       ++attempt) {
+    const VertexId candidate = rng.next_below(g.num_vertices);
+    if (std::find(roots.begin(), roots.end(), candidate) != roots.end()) {
+      continue;
+    }
+    bool eligible_local = false;
+    if (g.part.owner(candidate) == comm.rank()) {
+      eligible_local = g.csr.degree(g.part.local(candidate)) > 0;
+    }
+    if (comm.allreduce_or(eligible_local)) roots.push_back(candidate);
+  }
+  return roots;
+}
+
+SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
+  // Counters: element-wise sum.  Histogram: fixed 64-slot projection.
+  std::array<std::uint64_t, 13> counters = {
+      local.buckets_processed, local.light_iterations, local.heavy_phases,
+      local.push_rounds,       local.pull_rounds,      local.relax_generated,
+      local.relax_sent,        local.relax_received,   local.relax_applied,
+      local.fused_local,       local.filtered_hub,     local.filtered_coalesce,
+      local.frontier_broadcast};
+  std::vector<std::uint64_t> payload(counters.begin(), counters.end());
+  payload.resize(counters.size() + 64, 0);
+  const auto& buckets = local.frontier_hist.buckets();
+  for (std::size_t i = 0; i < buckets.size() && i < 64; ++i) {
+    payload[counters.size() + i] = buckets[i];
+  }
+  const auto summed = comm.allreduce_vec<std::uint64_t>(
+      payload, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+  SsspStats total;
+  // Per-bucket/round structure is identical on all ranks; divide by P so
+  // the round counters stay "global rounds", while traffic counters sum.
+  const auto P = static_cast<std::uint64_t>(comm.size());
+  total.buckets_processed = summed[0] / P;
+  total.light_iterations = summed[1] / P;
+  total.heavy_phases = summed[2] / P;
+  total.push_rounds = summed[3] / P;
+  total.pull_rounds = summed[4] / P;
+  total.relax_generated = summed[5];
+  total.relax_sent = summed[6];
+  total.relax_received = summed[7];
+  total.relax_applied = summed[8];
+  total.fused_local = summed[9];
+  total.filtered_hub = summed[10];
+  total.filtered_coalesce = summed[11];
+  total.frontier_broadcast = summed[12];
+  for (std::size_t i = 0; i < 64; ++i) {
+    // Every rank records the same global frontier size per round; undo the
+    // P-fold duplication.
+    const std::uint64_t c = summed[13 + i] / P;
+    if (c > 0) {
+      total.frontier_hist.add(i == 0 ? 0 : (std::uint64_t{1} << i), c);
+    }
+  }
+  total.total_seconds =
+      comm.allreduce_max(local.total_seconds);
+  total.light_seconds = comm.allreduce_max(local.light_seconds);
+  total.heavy_seconds = comm.allreduce_max(local.heavy_seconds);
+  return total;
+}
+
+BenchmarkReport run_benchmark(simmpi::Comm& comm, const graph::DistGraph& g,
+                              const RunnerOptions& options) {
+  BenchmarkReport report;
+  report.num_vertices = g.num_vertices;
+  report.num_input_edges = g.num_input_edges;
+  report.num_directed_edges = g.num_directed_edges;
+  report.num_ranks = comm.size();
+
+  const std::vector<VertexId> roots =
+      sample_roots(comm, g, options.num_roots, options.root_seed);
+
+  double inv_teps_sum = 0.0;
+  double time_sum = 0.0;
+  for (const VertexId root : roots) {
+    SsspStats local;
+    util::Timer timer;
+    SsspResult result;
+    BfsResult bfs_result;
+    switch (options.algorithm) {
+      case Algorithm::kDeltaStepping:
+        result = delta_stepping(comm, g, root, options.config, &local);
+        break;
+      case Algorithm::kBellmanFord:
+        result = bellman_ford(comm, g, root, options.config, &local);
+        break;
+      case Algorithm::kBfs:
+        bfs_result = bfs(comm, g, root);
+        break;
+    }
+    comm.barrier();
+    const double local_seconds = timer.seconds();
+
+    RootRun run;
+    run.root = root;
+    run.seconds = comm.allreduce_max(local_seconds);
+    run.teps = run.seconds > 0.0
+                   ? static_cast<double>(g.num_input_edges) / run.seconds
+                   : 0.0;
+    if (options.validate) {
+      if (options.algorithm == Algorithm::kBfs) {
+        const auto verdict = validate_bfs(comm, g, root, bfs_result);
+        run.valid = verdict.ok;
+        run.reachable = verdict.reachable;
+        report.all_valid = report.all_valid && verdict.ok;
+      } else {
+        const auto verdict = validate_sssp(comm, g, root, result);
+        run.valid = verdict.ok;
+        run.reachable = verdict.reachable;
+        report.all_valid = report.all_valid && verdict.ok;
+      }
+    }
+    report.stats.merge(global_stats(comm, local));
+    inv_teps_sum += run.teps > 0.0 ? 1.0 / run.teps : 0.0;
+    time_sum += run.seconds;
+    report.runs.push_back(run);
+  }
+
+  if (!report.runs.empty()) {
+    report.harmonic_mean_teps =
+        inv_teps_sum > 0.0
+            ? static_cast<double>(report.runs.size()) / inv_teps_sum
+            : 0.0;
+    report.mean_seconds = time_sum / static_cast<double>(report.runs.size());
+    auto [lo, hi] = std::minmax_element(
+        report.runs.begin(), report.runs.end(),
+        [](const RootRun& a, const RootRun& b) { return a.seconds < b.seconds; });
+    report.min_seconds = lo->seconds;
+    report.max_seconds = hi->seconds;
+  }
+  return report;
+}
+
+void BenchmarkReport::print(std::ostream& out) const {
+  util::Table summary({"metric", "value"});
+  summary.row().add("ranks").add(num_ranks);
+  summary.row().add("vertices").add(static_cast<std::uint64_t>(num_vertices));
+  summary.row().add("input edges (M)").add(num_input_edges);
+  summary.row().add("directed edges").add(num_directed_edges);
+  summary.row().add("roots").add(static_cast<std::uint64_t>(runs.size()));
+  summary.row().add("all valid").add(all_valid ? "yes" : "NO");
+  summary.row().add("harmonic mean TEPS").add_si(harmonic_mean_teps);
+  summary.row().add("mean time (s)").add(mean_seconds, 4);
+  summary.row().add("min time (s)").add(min_seconds, 4);
+  summary.row().add("max time (s)").add(max_seconds, 4);
+  summary.print(out, "Graph500 SSSP benchmark");
+}
+
+}  // namespace g500::core

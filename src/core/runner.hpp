@@ -1,0 +1,79 @@
+// Official Graph 500 SSSP benchmark protocol.
+//
+// A submission runs: construct the graph, sample 64 search keys uniformly
+// among vertices with degree >= 1, run SSSP from each, validate every
+// result, and report TEPS = input-edge-count / time per root with the
+// harmonic mean as the headline number.  This runner reproduces that
+// protocol on the simulated ranks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sssp_types.hpp"
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+enum class Algorithm {
+  kDeltaStepping,  ///< the SSSP kernel (paper's contribution)
+  kBellmanFord,    ///< SSSP baseline
+  kBfs,            ///< the Graph 500 BFS kernel (hop distances, no weights)
+};
+
+struct RunnerOptions {
+  int num_roots = 64;
+  std::uint64_t root_seed = 0x9500;  ///< search-key sampling seed
+  bool validate = true;
+  Algorithm algorithm = Algorithm::kDeltaStepping;
+  SsspConfig config;
+};
+
+/// Outcome of one root.
+struct RootRun {
+  graph::VertexId root = 0;
+  double seconds = 0.0;
+  double teps = 0.0;
+  bool valid = true;
+  std::uint64_t reachable = 0;
+};
+
+struct BenchmarkReport {
+  graph::VertexId num_vertices = 0;
+  std::uint64_t num_input_edges = 0;
+  std::uint64_t num_directed_edges = 0;
+  int num_ranks = 0;
+
+  std::vector<RootRun> runs;
+  SsspStats stats;  ///< summed over ranks and roots
+
+  bool all_valid = true;
+  double harmonic_mean_teps = 0.0;
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  /// Graph500-style summary block.
+  void print(std::ostream& out) const;
+};
+
+/// Sample `count` distinct search keys with degree >= 1, identically on all
+/// ranks.  Returns fewer if the graph has fewer eligible vertices.
+[[nodiscard]] std::vector<graph::VertexId> sample_roots(
+    simmpi::Comm& comm, const graph::DistGraph& g, int count,
+    std::uint64_t seed);
+
+/// Execute the protocol.  SPMD: call from every rank; the report is
+/// identical on all ranks.
+[[nodiscard]] BenchmarkReport run_benchmark(simmpi::Comm& comm,
+                                            const graph::DistGraph& g,
+                                            const RunnerOptions& options);
+
+/// Sum a per-rank SsspStats across ranks (histogram included).
+[[nodiscard]] SsspStats global_stats(simmpi::Comm& comm,
+                                     const SsspStats& local);
+
+}  // namespace g500::core

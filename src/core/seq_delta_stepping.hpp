@@ -1,0 +1,29 @@
+// Sequential delta-stepping (Meyer & Sanders 2003) — the algorithm the
+// distributed engine descends from, in its original single-address-space
+// form.  Serves as the single-core baseline between Dijkstra (strict
+// priority order, no wasted work, poor parallelism) and Bellman-Ford
+// (no order, massive wasted work): buckets of width delta trade a bounded
+// amount of re-relaxation for bulk processing.
+#pragma once
+
+#include "core/dijkstra.hpp"
+#include "graph/edge_list.hpp"
+
+namespace g500::core {
+
+struct SeqDeltaStats {
+  std::uint64_t buckets_processed = 0;
+  std::uint64_t light_phases = 0;
+  std::uint64_t relaxations = 0;
+  double seconds = 0.0;
+};
+
+/// Run sequential delta-stepping over an undirected EdgeList (cleaned the
+/// same way as dijkstra()).  delta <= 0 selects 1/average-degree.
+[[nodiscard]] SequentialResult seq_delta_stepping(const graph::EdgeList& graph,
+                                                  graph::VertexId root,
+                                                  double delta = 0.0,
+                                                  SeqDeltaStats* stats =
+                                                      nullptr);
+
+}  // namespace g500::core

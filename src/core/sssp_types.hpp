@@ -1,0 +1,165 @@
+// Public types of the SSSP engines: configuration knobs (each one is an
+// optimization the evaluation ablates), per-rank results, and the detailed
+// execution statistics the communication-analysis experiments report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/histogram.hpp"
+
+namespace g500::core {
+
+/// Tuning knobs of the delta-stepping engine.  Defaults reproduce the
+/// fully-optimized configuration; the ablation benchmarks switch features
+/// off one at a time.
+struct SsspConfig {
+  /// Bucket width.  <= 0 selects automatically: ~1/average-degree, the
+  /// standard choice for uniform [0,1) weights (Meyer & Sanders).
+  double delta = 0.0;
+
+  /// Deduplicate relaxation requests per destination before sending
+  /// (keep only the minimum candidate per target vertex per round).
+  bool coalesce = true;
+
+  /// Filter relaxations aimed at replicated top-degree vertices against a
+  /// local mirror of their tentative distance.  Requires graph.hubs.
+  bool hub_cache = true;
+
+  /// Enable the push->pull direction switch for dense frontiers.
+  bool direction_opt = true;
+  /// Only consider pulling when the active fraction exceeds this.
+  double pull_threshold = 0.02;
+  /// Pull is chosen when estimated push bytes exceed pull bytes times this
+  /// factor (>1 biases toward push).
+  double pull_bias = 1.0;
+
+  /// Apply relaxations that target locally-owned vertices immediately
+  /// instead of routing them through the exchange.
+  bool local_fusion = true;
+
+  /// Pack relaxation requests into 12-byte records (32-bit local target
+  /// index + 32-bit parent + float distance) when the graph has fewer than
+  /// 2^32 vertices — halves wire bytes per request.  Falls back to the
+  /// wide format automatically on larger graphs.
+  bool compress = true;
+
+  /// Route relaxation exchanges through the two-level supernode-aggregated
+  /// alltoallv with groups of this many consecutive ranks (<= 1 = flat).
+  /// Cuts per-round message count from O(P^2) to O(P*G + P^2/G^2) at the
+  /// cost of each byte crossing the network up to three times — the
+  /// topology-aware trade record runs make.
+  int hierarchical_group = 0;
+
+  /// Safety valve: abort after this many global buckets (0 = unlimited).
+  std::uint64_t max_buckets = 0;
+
+  /// Record a per-bucket execution log in SsspStats::bucket_trace
+  /// (bucket index, rounds, frontier mass, wall time) — the time-series
+  /// behind the phase-breakdown figure.
+  bool collect_bucket_trace = false;
+
+  /// Convenience: everything off = textbook distributed delta-stepping.
+  [[nodiscard]] static SsspConfig plain() {
+    SsspConfig c;
+    c.coalesce = false;
+    c.hub_cache = false;
+    c.direction_opt = false;
+    c.local_fusion = false;
+    c.compress = false;
+    return c;
+  }
+};
+
+/// Per-rank SSSP output: tentative distance and parent for owned vertices
+/// (indexed by local id).  Reachable vertices satisfy
+/// dist[v] = dist[parent[v]] + w(parent[v], v); the root is its own parent.
+struct SsspResult {
+  std::vector<graph::Weight> dist;
+  std::vector<graph::VertexId> parent;
+};
+
+/// One bucket's execution record (collected when
+/// SsspConfig::collect_bucket_trace is set; global values, identical on
+/// every rank except wall time which is rank-local).
+struct BucketTraceRow {
+  std::uint64_t bucket = 0;
+  std::uint64_t light_rounds = 0;
+  std::uint64_t frontier_total = 0;  ///< sum of global frontier sizes
+  std::uint64_t settled = 0;         ///< R-set size on this rank
+  double seconds = 0.0;
+};
+
+/// Execution counters for one SSSP run (per rank; allreduce to aggregate).
+struct SsspStats {
+  std::uint64_t buckets_processed = 0;
+  std::uint64_t light_iterations = 0;  ///< inner rounds across all buckets
+  std::uint64_t heavy_phases = 0;
+  std::uint64_t push_rounds = 0;
+  std::uint64_t pull_rounds = 0;
+
+  std::uint64_t relax_generated = 0;   ///< candidate relaxations produced
+  std::uint64_t relax_sent = 0;        ///< survived filters, left this rank
+  std::uint64_t relax_received = 0;
+  std::uint64_t relax_applied = 0;     ///< actually improved a distance
+  std::uint64_t fused_local = 0;       ///< applied locally without a message
+  std::uint64_t filtered_hub = 0;      ///< dropped by the hub mirror
+  std::uint64_t filtered_coalesce = 0; ///< dropped by per-round dedup
+  std::uint64_t frontier_broadcast = 0;///< vertices shipped by pull rounds
+
+  double total_seconds = 0.0;
+  double light_seconds = 0.0;
+  double heavy_seconds = 0.0;
+
+  util::Log2Histogram frontier_hist;   ///< active-set size per inner round
+
+  /// Per-bucket log (empty unless requested; not merged across runs).
+  std::vector<BucketTraceRow> bucket_trace;
+
+  void merge(const SsspStats& other) {
+    buckets_processed += other.buckets_processed;
+    light_iterations += other.light_iterations;
+    heavy_phases += other.heavy_phases;
+    push_rounds += other.push_rounds;
+    pull_rounds += other.pull_rounds;
+    relax_generated += other.relax_generated;
+    relax_sent += other.relax_sent;
+    relax_received += other.relax_received;
+    relax_applied += other.relax_applied;
+    fused_local += other.fused_local;
+    filtered_hub += other.filtered_hub;
+    filtered_coalesce += other.filtered_coalesce;
+    frontier_broadcast += other.frontier_broadcast;
+    total_seconds += other.total_seconds;
+    light_seconds += other.light_seconds;
+    heavy_seconds += other.heavy_seconds;
+    frontier_hist.merge(other.frontier_hist);
+  }
+};
+
+/// One relaxation request on the wire: "target may be reachable at
+/// distance `dist` via `parent`".
+struct RelaxRequest {
+  graph::VertexId target;
+  graph::VertexId parent;
+  graph::Weight dist;
+};
+
+/// Compressed wire format (SsspConfig::compress): target as the owner's
+/// local index and parent as a 32-bit global id — valid while
+/// num_vertices < 2^32, which covers any graph a rank set materializes.
+struct PackedRelaxRequest {
+  std::uint32_t target_local;
+  std::uint32_t parent;
+  graph::Weight dist;
+};
+static_assert(sizeof(PackedRelaxRequest) == 12);
+
+/// One frontier entry broadcast by a pull round.
+struct FrontierEntry {
+  graph::VertexId vertex;
+  graph::Weight dist;
+};
+
+}  // namespace g500::core

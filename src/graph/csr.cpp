@@ -1,0 +1,94 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace g500::graph {
+
+LocalCsr::LocalCsr(LocalId num_local, std::vector<WireEdge> edges)
+    : num_local_(num_local) {
+  for (const auto& e : edges) {
+    if (e.src >= num_local) {
+      throw std::out_of_range("LocalCsr: edge source is not a local index");
+    }
+  }
+  // Group by source, then weight-ascending within a source (ties by dst for
+  // determinism).
+  std::sort(edges.begin(), edges.end(),
+            [](const WireEdge& a, const WireEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.dst < b.dst;
+            });
+
+  offsets_.assign(static_cast<std::size_t>(num_local) + 1, 0);
+  adj_dst_.reserve(edges.size());
+  adj_w_.reserve(edges.size());
+  for (const auto& e : edges) {
+    ++offsets_[static_cast<std::size_t>(e.src) + 1];
+    adj_dst_.push_back(e.dst);
+    adj_w_.push_back(e.weight);
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+}
+
+std::uint64_t LocalCsr::split_at(LocalId u, Weight delta) const {
+  const auto first = adj_w_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]);
+  const auto last =
+      adj_w_.begin() + static_cast<std::ptrdiff_t>(offsets_[u + 1]);
+  return static_cast<std::uint64_t>(
+      std::lower_bound(first, last, delta) - adj_w_.begin());
+}
+
+PullIndex PullIndex::from_csr(const LocalCsr& csr) {
+  struct Entry {
+    VertexId src;
+    LocalId dst;
+    Weight w;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(csr.num_edges());
+  for (LocalId u = 0; u < csr.num_local(); ++u) {
+    for (std::uint64_t e = csr.edges_begin(u); e < csr.edges_end(u); ++e) {
+      entries.push_back(Entry{csr.dst(e), u, csr.weight(e)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.w != b.w) return a.w < b.w;
+    return a.dst < b.dst;
+  });
+
+  PullIndex index;
+  index.dst_.reserve(entries.size());
+  index.w_.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (index.sources_.empty() || index.sources_.back() != e.src) {
+      index.sources_.push_back(e.src);
+      index.offsets_.push_back(index.dst_.size());
+    }
+    index.dst_.push_back(e.dst);
+    index.w_.push_back(e.w);
+  }
+  index.offsets_.push_back(index.dst_.size());
+  return index;
+}
+
+PullIndex::Range PullIndex::find(VertexId s, std::size_t* index) const {
+  const auto it = std::lower_bound(sources_.begin(), sources_.end(), s);
+  if (it == sources_.end() || *it != s) return Range{};
+  const auto i = static_cast<std::size_t>(it - sources_.begin());
+  if (index != nullptr) *index = i;
+  return Range{offsets_[i], offsets_[i + 1]};
+}
+
+std::uint64_t PullIndex::split_at(Range r, Weight delta) const {
+  const auto first = w_.begin() + static_cast<std::ptrdiff_t>(r.first);
+  const auto last = w_.begin() + static_cast<std::ptrdiff_t>(r.last);
+  return static_cast<std::uint64_t>(std::lower_bound(first, last, delta) -
+                                    w_.begin());
+}
+
+}  // namespace g500::graph

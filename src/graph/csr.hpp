@@ -1,0 +1,120 @@
+// Rank-local graph storage.
+//
+// LocalCsr: outgoing adjacency of the vertices a rank owns, with each
+// vertex's edge list sorted by weight ascending.  The weight sort lets the
+// SSSP engine derive the light/heavy split for *any* delta with one binary
+// search per vertex, so delta sweeps never rebuild the graph.
+//
+// PullIndex: the same edges regrouped by (global) source id — the structure
+// the direction-optimized "pull" phase scans when the frontier is broadcast
+// instead of pushing per-edge messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::graph {
+
+/// One directed edge on the wire during construction.
+struct WireEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0.0f;
+};
+
+class LocalCsr {
+ public:
+  LocalCsr() = default;
+
+  /// Build from directed edges whose sources are *local* indices in
+  /// [0, num_local).  Edges must already be deduplicated; they are regrouped
+  /// and weight-sorted here.
+  LocalCsr(LocalId num_local, std::vector<WireEdge> edges);
+
+  [[nodiscard]] LocalId num_local() const noexcept { return num_local_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return adj_dst_.size();
+  }
+
+  [[nodiscard]] std::uint64_t degree(LocalId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Edge index range [first, last) of vertex u, weight-ascending.
+  [[nodiscard]] std::uint64_t edges_begin(LocalId u) const {
+    return offsets_[u];
+  }
+  [[nodiscard]] std::uint64_t edges_end(LocalId u) const {
+    return offsets_[u + 1];
+  }
+
+  [[nodiscard]] VertexId dst(std::uint64_t e) const { return adj_dst_[e]; }
+  [[nodiscard]] Weight weight(std::uint64_t e) const { return adj_w_[e]; }
+
+  /// First edge index of u with weight >= delta (edges are weight-sorted,
+  /// so [edges_begin, split) are light and [split, edges_end) are heavy).
+  [[nodiscard]] std::uint64_t split_at(LocalId u, Weight delta) const;
+
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return offsets_;
+  }
+
+ private:
+  LocalId num_local_ = 0;
+  std::vector<std::uint64_t> offsets_;  // num_local_ + 1
+  std::vector<VertexId> adj_dst_;
+  std::vector<Weight> adj_w_;
+};
+
+class PullIndex {
+ public:
+  PullIndex() = default;
+
+  /// Build from the local CSR: edge u->v (u local) becomes an entry
+  /// v -> (u, w) keyed by the *global* neighbour id v.  Within each source
+  /// group, destinations are weight-sorted (same reason as LocalCsr).
+  static PullIndex from_csr(const LocalCsr& csr);
+
+  [[nodiscard]] std::size_t num_sources() const noexcept {
+    return sources_.size();
+  }
+  [[nodiscard]] std::uint64_t num_entries() const noexcept {
+    return dst_.size();
+  }
+
+  /// Locate the entry range of global source s; returns {0, 0} if s has no
+  /// edges into this rank.  If `index` is non-null and s is present, the
+  /// position of s within sources() is stored there (for split caching).
+  struct Range {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    [[nodiscard]] bool empty() const noexcept { return first == last; }
+  };
+  [[nodiscard]] Range find(VertexId s, std::size_t* index = nullptr) const;
+
+  /// Entry range of the i-th source group (i < num_sources()).
+  [[nodiscard]] Range range(std::size_t i) const {
+    return Range{offsets_[i], offsets_[i + 1]};
+  }
+
+  [[nodiscard]] LocalId dst(std::uint64_t e) const { return dst_[e]; }
+  [[nodiscard]] Weight weight(std::uint64_t e) const { return w_[e]; }
+
+  /// First entry in [r.first, r.last) with weight >= delta.
+  [[nodiscard]] std::uint64_t split_at(Range r, Weight delta) const;
+
+  [[nodiscard]] std::span<const VertexId> sources() const noexcept {
+    return sources_;
+  }
+
+ private:
+  std::vector<VertexId> sources_;       // sorted distinct global ids
+  std::vector<std::uint64_t> offsets_;  // sources_.size() + 1
+  std::vector<LocalId> dst_;
+  std::vector<Weight> w_;
+};
+
+}  // namespace g500::graph

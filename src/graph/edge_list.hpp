@@ -1,0 +1,26 @@
+// In-memory edge list: the interchange format between generators and the
+// distributed graph builder.  Edges are *undirected input tuples* in Graph
+// 500 terms: (u, v, w) means an undirected edge; the builder materializes
+// both directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::graph {
+
+struct EdgeList {
+  /// Number of vertices (ids are in [0, num_vertices)).
+  VertexId num_vertices = 0;
+  /// Undirected input edges; may contain self-loops and duplicates, which
+  /// the builder drops / dedupes exactly as the Graph 500 spec requires.
+  std::vector<Edge> edges;
+
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return edges.size();
+  }
+};
+
+}  // namespace g500::graph

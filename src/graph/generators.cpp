@@ -1,0 +1,99 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace g500::graph {
+
+using util::hash64;
+using util::to_unit_double;
+
+Weight edge_weight(std::uint64_t seed, std::uint64_t index) {
+  double w = to_unit_double(hash64(seed ^ 0x77e19457ULL, index));
+  if (w < 1e-9) w = 1e-9;
+  return static_cast<Weight>(w);
+}
+
+EdgeList path_graph(VertexId n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("path_graph: n must be >= 1");
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(n > 0 ? n - 1 : 0);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    list.edges.push_back(Edge{v, v + 1, edge_weight(seed, v)});
+  }
+  return list;
+}
+
+EdgeList ring_graph(VertexId n, std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("ring_graph: n must be >= 3");
+  EdgeList list = path_graph(n, seed);
+  list.edges.push_back(Edge{n - 1, 0, edge_weight(seed, n - 1)});
+  return list;
+}
+
+EdgeList star_graph(VertexId n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("star_graph: n must be >= 2");
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) {
+    list.edges.push_back(Edge{0, v, edge_weight(seed, v)});
+  }
+  return list;
+}
+
+EdgeList grid_graph(VertexId rows, VertexId cols, std::uint64_t seed) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("grid_graph: rows and cols must be >= 1");
+  }
+  EdgeList list;
+  list.num_vertices = rows * cols;
+  list.edges.reserve(2 * rows * cols);
+  std::uint64_t index = 0;
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      const VertexId v = r * cols + c;
+      if (c + 1 < cols) {
+        list.edges.push_back(Edge{v, v + 1, edge_weight(seed, index++)});
+      }
+      if (r + 1 < rows) {
+        list.edges.push_back(Edge{v, v + cols, edge_weight(seed, index++)});
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList complete_graph(VertexId n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("complete_graph: n must be >= 2");
+  if (n > 4096) {
+    throw std::invalid_argument("complete_graph: n too large (max 4096)");
+  }
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(n * (n - 1) / 2);
+  std::uint64_t index = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      list.edges.push_back(Edge{u, v, edge_weight(seed, index++)});
+    }
+  }
+  return list;
+}
+
+EdgeList random_graph(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("random_graph: n must be >= 1");
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const VertexId u = hash64(seed, i, 0) % n;
+    const VertexId v = hash64(seed, i, 1) % n;
+    list.edges.push_back(Edge{u, v, edge_weight(seed, i)});
+  }
+  return list;
+}
+
+}  // namespace g500::graph

@@ -1,0 +1,40 @@
+// Deterministic non-Kronecker generators: structured graphs for tests,
+// examples (road-network-like grids) and baseline benchmarks.
+//
+// All weights are drawn deterministically from the given seed, uniform in
+// (0, 1) unless stated otherwise, so results are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace g500::graph {
+
+/// Path 0-1-2-...-(n-1).  Worst case for bucketed SSSP (diameter n-1).
+[[nodiscard]] EdgeList path_graph(VertexId n, std::uint64_t seed = 1);
+
+/// Cycle 0-1-...-(n-1)-0.
+[[nodiscard]] EdgeList ring_graph(VertexId n, std::uint64_t seed = 1);
+
+/// Star with center 0 and n-1 leaves.  Extreme hub skew.
+[[nodiscard]] EdgeList star_graph(VertexId n, std::uint64_t seed = 1);
+
+/// rows x cols 4-neighbour grid — a road-network stand-in (large diameter,
+/// uniform degree).  Vertex (r, c) has id r*cols + c.
+[[nodiscard]] EdgeList grid_graph(VertexId rows, VertexId cols,
+                                  std::uint64_t seed = 1);
+
+/// Complete graph on n vertices (n small!).
+[[nodiscard]] EdgeList complete_graph(VertexId n, std::uint64_t seed = 1);
+
+/// Uniform random multigraph: m undirected tuples with endpoints uniform in
+/// [0, n).  May include self-loops/duplicates — exercised deliberately by
+/// builder tests.
+[[nodiscard]] EdgeList random_graph(VertexId n, std::uint64_t m,
+                                    std::uint64_t seed = 1);
+
+/// Deterministic weight for auxiliary generators: uniform in (0,1).
+[[nodiscard]] Weight edge_weight(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace g500::graph

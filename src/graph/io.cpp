@@ -1,0 +1,152 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace g500::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', '5', '0', '0', 'E', 'D', 'G', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+struct BinaryHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+};
+static_assert(sizeof(BinaryHeader) == 32);
+
+/// On-disk edge record: fixed layout independent of struct padding.
+struct BinaryEdge {
+  std::uint64_t src;
+  std::uint64_t dst;
+  float weight;
+  float pad;
+};
+static_assert(sizeof(BinaryEdge) == 24);
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw std::runtime_error("edge-list I/O: " + what);
+}
+
+}  // namespace
+
+void write_edge_list_binary(std::ostream& out, const EdgeList& list) {
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.num_vertices = list.num_vertices;
+  header.num_edges = list.edges.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const auto& e : list.edges) {
+    BinaryEdge rec{e.src, e.dst, e.weight, 0.0f};
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  if (!out) io_fail("write failed");
+}
+
+EdgeList read_edge_list_binary(std::istream& in) {
+  BinaryHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    io_fail("bad magic (not a G500EDGE file)");
+  }
+  if (header.version != kVersion) {
+    io_fail("unsupported version " + std::to_string(header.version));
+  }
+  EdgeList list;
+  list.num_vertices = header.num_vertices;
+  list.edges.reserve(header.num_edges);
+  for (std::uint64_t i = 0; i < header.num_edges; ++i) {
+    BinaryEdge rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!in) io_fail("truncated payload at edge " + std::to_string(i));
+    list.edges.push_back(Edge{rec.src, rec.dst, rec.weight});
+  }
+  return list;
+}
+
+void write_edge_list_binary(const std::string& path, const EdgeList& list) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open " + path + " for writing");
+  write_edge_list_binary(out, list);
+}
+
+EdgeList read_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open " + path);
+  return read_edge_list_binary(in);
+}
+
+void write_edge_list_tsv(std::ostream& out, const EdgeList& list) {
+  out << "# vertices: " << list.num_vertices << '\n';
+  out << "# edges: " << list.edges.size() << '\n';
+  for (const auto& e : list.edges) {
+    out << e.src << '\t' << e.dst << '\t' << e.weight << '\n';
+  }
+  if (!out) io_fail("write failed");
+}
+
+EdgeList read_edge_list_tsv(std::istream& in) {
+  EdgeList list;
+  VertexId max_endpoint = 0;
+  bool any_edge = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Optional "# vertices: N" header.
+      std::istringstream header(line.substr(1));
+      std::string key;
+      header >> key;
+      if (key == "vertices:") {
+        VertexId declared = 0;
+        if (header >> declared) {
+          list.num_vertices = std::max(list.num_vertices, declared);
+        }
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    Edge e;
+    if (!(fields >> e.src >> e.dst)) {
+      io_fail("malformed line " + std::to_string(line_number) + ": '" + line +
+              "'");
+    }
+    if (!(fields >> e.weight)) e.weight = 1.0f;
+    if (!(e.weight > 0.0f) || e.weight == std::numeric_limits<float>::infinity()) {
+      io_fail("non-positive or non-finite weight on line " +
+              std::to_string(line_number));
+    }
+    max_endpoint = std::max({max_endpoint, e.src, e.dst});
+    any_edge = true;
+    list.edges.push_back(e);
+  }
+  if (any_edge) {
+    list.num_vertices = std::max(list.num_vertices, max_endpoint + 1);
+  }
+  return list;
+}
+
+void write_edge_list_tsv(const std::string& path, const EdgeList& list) {
+  std::ofstream out(path);
+  if (!out) io_fail("cannot open " + path + " for writing");
+  write_edge_list_tsv(out, list);
+}
+
+EdgeList read_edge_list_tsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_fail("cannot open " + path);
+  return read_edge_list_tsv(in);
+}
+
+}  // namespace g500::graph

@@ -1,0 +1,37 @@
+// Edge-list I/O: move graphs in and out of the library.
+//
+// Two formats:
+//   * binary — a compact header (magic, version, counts) followed by raw
+//     Edge records; byte-exact round-trips, used for checkpointing
+//     generated graphs and importing converted datasets;
+//   * TSV — "src<TAB>dst<TAB>weight" per line, '#' comments, the common
+//     interchange format of public graph datasets (weight defaults to 1.0
+//     when the column is absent).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace g500::graph {
+
+/// Write/read the compact binary format.  Throws std::runtime_error on I/O
+/// failure or malformed input (bad magic, truncated payload).
+void write_edge_list_binary(const std::string& path, const EdgeList& list);
+[[nodiscard]] EdgeList read_edge_list_binary(const std::string& path);
+
+/// Stream variants (unit-testable without touching the filesystem).
+void write_edge_list_binary(std::ostream& out, const EdgeList& list);
+[[nodiscard]] EdgeList read_edge_list_binary(std::istream& in);
+
+/// TSV: one "src dst [weight]" line per edge, whitespace-separated, lines
+/// starting with '#' ignored.  num_vertices is max endpoint + 1 unless a
+/// "# vertices: N" header raises it.
+void write_edge_list_tsv(std::ostream& out, const EdgeList& list);
+[[nodiscard]] EdgeList read_edge_list_tsv(std::istream& in);
+
+void write_edge_list_tsv(const std::string& path, const EdgeList& list);
+[[nodiscard]] EdgeList read_edge_list_tsv(const std::string& path);
+
+}  // namespace g500::graph

@@ -1,0 +1,81 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace g500::graph {
+
+std::vector<VertexId> degree_descending_permutation(const EdgeList& list) {
+  std::vector<std::uint64_t> degree(list.num_vertices, 0);
+  for (const auto& e : list.edges) {
+    if (e.src >= list.num_vertices || e.dst >= list.num_vertices) {
+      throw std::out_of_range("degree_descending_permutation: bad endpoint");
+    }
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<VertexId> order(list.num_vertices);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (degree[a] != degree[b]) return degree[a] > degree[b];
+    return a < b;
+  });
+  // order[new] = old; we return perm[old] = new.
+  std::vector<VertexId> perm(list.num_vertices);
+  for (VertexId new_id = 0; new_id < list.num_vertices; ++new_id) {
+    perm[order[new_id]] = new_id;
+  }
+  return perm;
+}
+
+std::vector<VertexId> random_permutation(VertexId n, std::uint64_t seed) {
+  // Fisher-Yates with the deterministic engine: exact, any n.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  util::SplitMix64 rng(seed);
+  for (VertexId i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return perm;
+}
+
+EdgeList apply_permutation(const EdgeList& list,
+                           std::span<const VertexId> perm) {
+  if (perm.size() != list.num_vertices) {
+    throw std::invalid_argument("apply_permutation: size mismatch");
+  }
+  // Validate bijectivity: every new id hit exactly once.
+  std::vector<char> seen(list.num_vertices, 0);
+  for (const auto v : perm) {
+    if (v >= list.num_vertices || seen[v] != 0) {
+      throw std::invalid_argument("apply_permutation: not a bijection");
+    }
+    seen[v] = 1;
+  }
+  EdgeList out;
+  out.num_vertices = list.num_vertices;
+  out.edges.reserve(list.edges.size());
+  for (const auto& e : list.edges) {
+    out.edges.push_back(Edge{perm[e.src], perm[e.dst], e.weight});
+  }
+  return out;
+}
+
+std::vector<VertexId> invert_permutation(std::span<const VertexId> perm) {
+  std::vector<VertexId> inverse(perm.size());
+  std::vector<char> seen(perm.size(), 0);
+  for (std::size_t old_id = 0; old_id < perm.size(); ++old_id) {
+    const VertexId new_id = perm[old_id];
+    if (new_id >= perm.size() || seen[new_id] != 0) {
+      throw std::invalid_argument("invert_permutation: not a bijection");
+    }
+    seen[new_id] = 1;
+    inverse[new_id] = static_cast<VertexId>(old_id);
+  }
+  return inverse;
+}
+
+}  // namespace g500::graph

@@ -1,0 +1,40 @@
+// Vertex relabeling utilities.
+//
+// Record-scale graph codes relabel vertices to shape locality and load:
+// degree-descending orders pack the hubs into a dense low-id prefix (so hub
+// lookups become a range check and hub state a dense array), and a
+// pseudo-random permutation (the generator's scramble) balances block
+// partitions statistically.  These helpers produce and apply such
+// relabelings on EdgeLists; results of SSSP/BFS on a relabeled graph map
+// back through the same permutation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace g500::graph {
+
+/// Permutation mapping old id -> new id such that new ids ascend by
+/// degree descending (ties: old id ascending).  Isolated vertices sort
+/// last.  Degree counts both endpoints of every tuple; self-loops add 2.
+[[nodiscard]] std::vector<VertexId> degree_descending_permutation(
+    const EdgeList& list);
+
+/// Pseudo-random bijection on [0, n) from the generator's Feistel scramble
+/// (n need not be a power of two: cycle-walking keeps it in range).
+[[nodiscard]] std::vector<VertexId> random_permutation(VertexId n,
+                                                       std::uint64_t seed);
+
+/// new_list = perm applied to every endpoint.  perm must be a bijection on
+/// [0, num_vertices); validated in O(n).
+[[nodiscard]] EdgeList apply_permutation(const EdgeList& list,
+                                         std::span<const VertexId> perm);
+
+/// inverse[perm[v]] == v.
+[[nodiscard]] std::vector<VertexId> invert_permutation(
+    std::span<const VertexId> perm);
+
+}  // namespace g500::graph

@@ -1,0 +1,36 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace g500::graph {
+
+/// Global vertex identifier.  64-bit: the record-scale graph has 2^43
+/// vertices, far beyond 32 bits.
+using VertexId = std::uint64_t;
+
+/// Rank-local vertex index (vertices per rank stay well below 2^32 at any
+/// scale we materialize).
+using LocalId = std::uint32_t;
+
+/// Edge weight.  Graph 500 SSSP draws weights uniformly from [0, 1);
+/// float matches the official reference implementation's wire format.
+using Weight = float;
+
+/// Sentinel "no vertex" (parent of unreachable vertices).
+inline constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+
+/// Distance of unreachable vertices.
+inline constexpr Weight kInfDistance = std::numeric_limits<Weight>::infinity();
+
+/// One weighted directed edge (undirected graphs store both directions).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace g500::graph

@@ -1,0 +1,52 @@
+#include "model/machine.hpp"
+
+namespace g500::model {
+
+Machine Machine::new_sunway() {
+  Machine m;
+  m.name = "New Sunway";
+  m.num_nodes = 107520;
+  m.cores_per_node = 390;  // 6 core groups x (1 MPE + 64 CPEs)
+  m.nodes_per_supernode = 256;
+  m.memory_per_node_GB = 96.0;
+  m.link.latency_us = 1.5;
+  m.link.bandwidth_GBps = 16.0;
+  m.link.injection_GBps = 16.0;
+  m.central_taper = 0.25;
+  // CPE clusters sort/relax on-chip; effective per-core rate is modest but
+  // there are a lot of cores.
+  m.core_edge_rate = 4e6;
+  return m;
+}
+
+Machine Machine::fugaku_like() {
+  Machine m;
+  m.name = "Fugaku-like";
+  m.num_nodes = 158976;
+  m.cores_per_node = 48;
+  m.nodes_per_supernode = 384;  // Tofu-D group
+  m.memory_per_node_GB = 32.0;
+  m.link.latency_us = 0.9;
+  m.link.bandwidth_GBps = 6.8;  // Tofu-D per-direction link class
+  m.link.injection_GBps = 40.8;  // 6 links per node
+  m.central_taper = 0.4;
+  m.core_edge_rate = 1.5e7;  // strong general-purpose cores
+  return m;
+}
+
+Machine Machine::commodity_cluster(std::int64_t nodes) {
+  Machine m;
+  m.name = "commodity-cluster";
+  m.num_nodes = nodes;
+  m.cores_per_node = 64;
+  m.nodes_per_supernode = 64;  // one switch group
+  m.memory_per_node_GB = 256.0;
+  m.link.latency_us = 1.2;
+  m.link.bandwidth_GBps = 25.0;  // 200 Gb/s HDR
+  m.link.injection_GBps = 25.0;
+  m.central_taper = 0.5;
+  m.core_edge_rate = 2e7;
+  return m;
+}
+
+}  // namespace g500::model

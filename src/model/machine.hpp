@@ -1,0 +1,64 @@
+// Machine descriptions for the extreme-scale projection.
+//
+// The paper's runs use the New Sunway supercomputer; we cannot run there,
+// so the projection module (projection.hpp) combines a Machine description
+// with per-edge costs *measured on the simulated runtime* to predict
+// record-scale behaviour.  The DESIGN.md substitution table documents this
+// methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace g500::model {
+
+struct Machine {
+  std::string name;
+  std::int64_t num_nodes = 1;
+  int cores_per_node = 1;
+  std::int64_t nodes_per_supernode = 256;
+  double memory_per_node_GB = 16.0;
+
+  net::LinkParams link;          ///< interconnect parameters
+  double central_taper = 0.25;   ///< top-level bisection taper
+
+  /// Sustained edge-relaxation throughput per core (edges/s); calibrated
+  /// from measured runs, default from the simulated runtime's measurements.
+  double core_edge_rate = 5e6;
+
+  [[nodiscard]] std::int64_t total_cores() const noexcept {
+    return num_nodes * cores_per_node;
+  }
+
+  [[nodiscard]] net::SunwayTopology topology() const {
+    const std::int64_t supernodes =
+        (num_nodes + nodes_per_supernode - 1) / nodes_per_supernode;
+    const std::int64_t sn_size =
+        supernodes == 1 ? num_nodes : nodes_per_supernode;
+    return net::SunwayTopology(supernodes, sn_size, central_taper, link);
+  }
+
+  /// A copy of this machine scaled down to `nodes` nodes.
+  [[nodiscard]] Machine scaled_to(std::int64_t nodes) const {
+    Machine m = *this;
+    m.num_nodes = nodes;
+    return m;
+  }
+
+  /// The full New Sunway configuration of the record run: 107,520 nodes x
+  /// 390 cores (6 core groups of 1 MPE + 64 CPEs) ~= 41.9M cores, 96 GB
+  /// per node, supernodes of 256 nodes.
+  [[nodiscard]] static Machine new_sunway();
+
+  /// A mid-size commodity cluster for comparison tables.
+  [[nodiscard]] static Machine commodity_cluster(std::int64_t nodes);
+
+  /// A Fugaku-class machine (the BFS-list rival): ~158k nodes x 48 cores,
+  /// Tofu-D-like interconnect with healthy taper.  Used by the projection
+  /// comparison table.
+  [[nodiscard]] static Machine fugaku_like();
+};
+
+}  // namespace g500::model

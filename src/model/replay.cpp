@@ -1,0 +1,93 @@
+#include "model/replay.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "net/costmodel.hpp"
+#include "util/table.hpp"
+
+namespace g500::model {
+
+using simmpi::CollectiveKind;
+using simmpi::TraceRound;
+
+ReplayReport replay_trace(const std::vector<TraceRound>& trace,
+                          const Machine& machine, std::int64_t nodes,
+                          int ranks_per_node, int traced_ranks) {
+  if (traced_ranks < 1 || ranks_per_node < 1 || nodes < 1) {
+    throw std::invalid_argument("replay_trace: bad machine shape");
+  }
+  const Machine scaled = machine.scaled_to(nodes);
+  const net::SunwayTopology topo = scaled.topology();
+  const net::CostModel cost(topo, ranks_per_node);
+  const std::int64_t target_ranks = nodes * ranks_per_node;
+  // Per-rank loads shrink when the same total traffic spreads over more
+  // ranks (weak-scaling replays pass traced_ranks == target to disable).
+  const double spread = static_cast<double>(traced_ranks) /
+                        static_cast<double>(target_ranks);
+
+  ReplayReport report;
+  report.round_seconds.reserve(trace.size());
+  std::map<CollectiveKind, ReplayBreakdown> by_kind;
+  for (const TraceRound& round : trace) {
+    double seconds = 0.0;
+    switch (round.kind) {
+      case CollectiveKind::kBarrier:
+        seconds = cost.barrier_seconds(target_ranks);
+        break;
+      case CollectiveKind::kAlltoallv: {
+        net::AlltoallTraffic traffic;
+        traffic.total_bytes = static_cast<double>(round.total_bytes);
+        traffic.max_rank_bytes =
+            static_cast<double>(round.max_rank_bytes) * spread;
+        traffic.cross_cut_fraction = 0.5;
+        seconds = cost.alltoallv_seconds(traffic, target_ranks);
+        break;
+      }
+      case CollectiveKind::kAllreduce:
+        seconds = cost.allreduce_seconds(
+            static_cast<double>(round.max_rank_bytes), target_ranks);
+        break;
+      case CollectiveKind::kAllgather:
+      case CollectiveKind::kBroadcast:
+        seconds = cost.allgatherv_seconds(
+            static_cast<double>(round.total_bytes), target_ranks);
+        break;
+    }
+    report.round_seconds.push_back(seconds);
+    report.total_seconds += seconds;
+    auto& slot = by_kind[round.kind];
+    slot.kind = round.kind;
+    ++slot.rounds;
+    slot.bytes += round.total_bytes;
+    slot.seconds += seconds;
+  }
+  report.by_kind.reserve(by_kind.size());
+  for (const auto& [kind, breakdown] : by_kind) {
+    report.by_kind.push_back(breakdown);
+  }
+  std::sort(report.by_kind.begin(), report.by_kind.end(),
+            [](const ReplayBreakdown& a, const ReplayBreakdown& b) {
+              return a.seconds > b.seconds;
+            });
+  return report;
+}
+
+void ReplayReport::print(std::ostream& out) const {
+  util::Table table({"collective", "rounds", "bytes", "modeled (s)", "share"});
+  for (const auto& b : by_kind) {
+    table.row()
+        .add(simmpi::to_string(b.kind))
+        .add(b.rounds)
+        .add_si(static_cast<double>(b.bytes))
+        .add(b.seconds, 4)
+        .add(total_seconds > 0 ? b.seconds / total_seconds : 0.0, 3);
+  }
+  table.print(out, "trace replay");
+  out << "total modeled: " << total_seconds << " s over "
+      << round_seconds.size() << " rounds\n";
+}
+
+}  // namespace g500::model

@@ -1,0 +1,46 @@
+// Trace replay: price a recorded collective sequence on a target machine.
+//
+// Takes the machine-wide round log produced by simmpi::World::merged_trace
+// and walks it through the net::CostModel of a Machine description,
+// yielding a modeled timeline: how long each round would take on the
+// target interconnect and how total time splits across collective kinds.
+// This is the post-mortem attribution record-run papers use to explain
+// where an SSSP spends its time at full machine scale.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "simmpi/trace.hpp"
+
+namespace g500::model {
+
+struct ReplayBreakdown {
+  simmpi::CollectiveKind kind{};
+  std::uint64_t rounds = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+struct ReplayReport {
+  double total_seconds = 0.0;
+  /// One entry per collective kind that appears in the trace.
+  std::vector<ReplayBreakdown> by_kind;
+  /// Modeled duration of every round, in trace order.
+  std::vector<double> round_seconds;
+
+  void print(std::ostream& out) const;
+};
+
+/// Replay `trace` on `machine` scaled to `nodes` with `ranks_per_node`
+/// algorithm ranks sharing each node.  `traced_ranks` is the rank count
+/// the trace was recorded with (per-rank byte loads are rescaled to the
+/// target rank count assuming uniform spread).
+[[nodiscard]] ReplayReport replay_trace(
+    const std::vector<simmpi::TraceRound>& trace, const Machine& machine,
+    std::int64_t nodes, int ranks_per_node, int traced_ranks);
+
+}  // namespace g500::model

@@ -1,0 +1,67 @@
+#include "net/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace g500::net {
+
+namespace {
+constexpr double kGB = 1e9;
+}
+
+CostModel::CostModel(const Topology& topo, int ranks_per_node)
+    : topo_(topo), ranks_per_node_(ranks_per_node) {
+  if (ranks_per_node < 1) {
+    throw std::invalid_argument("ranks_per_node must be >= 1");
+  }
+}
+
+double CostModel::worst_latency_seconds() const {
+  // Diameter latency: hop count between the two most distant endpoints.
+  const std::int64_t last = topo_.num_nodes() - 1;
+  return topo_.latency_us(0, last) * 1e-6;
+}
+
+double CostModel::alltoallv_seconds(const AlltoallTraffic& t,
+                                    std::int64_t num_ranks) const {
+  if (num_ranks < 1) throw std::invalid_argument("num_ranks must be >= 1");
+  // Latency term: pairwise-exchange schedules take O(log P) steps when
+  // software-pipelined; each step pays worst-case hop latency.
+  const double steps = std::max(1.0, std::log2(static_cast<double>(num_ranks)));
+  const double latency = steps * worst_latency_seconds();
+
+  // Injection term: the busiest node must push the bytes of all its ranks.
+  const double node_bytes = t.max_rank_bytes * ranks_per_node_;
+  const double injection = node_bytes / (topo_.link().injection_GBps * kGB);
+
+  // Bisection term: the fraction of total traffic that crosses the cut must
+  // fit through the bisection bandwidth.
+  const double cross_bytes = t.total_bytes * t.cross_cut_fraction;
+  const double bisection = cross_bytes / (topo_.bisection_GBps() * kGB);
+
+  return latency + std::max(injection, bisection);
+}
+
+double CostModel::allreduce_seconds(double bytes,
+                                    std::int64_t num_ranks) const {
+  if (num_ranks < 1) throw std::invalid_argument("num_ranks must be >= 1");
+  const double steps = std::max(1.0, std::log2(static_cast<double>(num_ranks)));
+  // Recursive doubling: log P rounds, each moving the payload once.
+  const double latency = steps * worst_latency_seconds();
+  const double bandwidth =
+      steps * bytes / (topo_.link().bandwidth_GBps * kGB);
+  return latency + bandwidth;
+}
+
+double CostModel::allgatherv_seconds(double total_bytes,
+                                     std::int64_t num_ranks) const {
+  if (num_ranks < 1) throw std::invalid_argument("num_ranks must be >= 1");
+  const double steps = std::max(1.0, std::log2(static_cast<double>(num_ranks)));
+  const double latency = steps * worst_latency_seconds();
+  // Ring/bruck allgather: every node receives the full concatenation once.
+  const double bandwidth = total_bytes / (topo_.link().bandwidth_GBps * kGB);
+  return latency + bandwidth;
+}
+
+}  // namespace g500::net

@@ -1,0 +1,58 @@
+// Analytic collective cost model.
+//
+// Turns the logical traffic recorded by simmpi (bytes per rank, messages,
+// rounds) into estimated wall time on a given Topology.  Uses the standard
+// alpha-beta formulation: a collective round costs a latency term (alpha x
+// software/hop latency, logarithmic for reductions) plus a bandwidth term
+// (bytes over the binding link: injection or bisection, whichever saturates
+// first).  This is the same first-order methodology record-run papers use
+// to argue where their machine becomes communication-bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace g500::net {
+
+/// Traffic of one alltoallv round as seen from the whole machine.
+struct AlltoallTraffic {
+  double max_rank_bytes = 0.0;    ///< heaviest sender (injection bound)
+  double total_bytes = 0.0;       ///< sum over all ranks
+  double cross_cut_fraction = 0.5;///< fraction of bytes crossing the bisection
+};
+
+class CostModel {
+ public:
+  /// `ranks_per_node`: how many algorithm ranks share one network endpoint
+  /// (they also share its injection bandwidth).
+  CostModel(const Topology& topo, int ranks_per_node);
+
+  /// Estimated time of one alltoallv round.
+  [[nodiscard]] double alltoallv_seconds(const AlltoallTraffic& t,
+                                         std::int64_t num_ranks) const;
+
+  /// Estimated time of an allreduce of `bytes` payload over `num_ranks`.
+  [[nodiscard]] double allreduce_seconds(double bytes,
+                                         std::int64_t num_ranks) const;
+
+  /// Estimated time of an allgatherv totalling `total_bytes`.
+  [[nodiscard]] double allgatherv_seconds(double total_bytes,
+                                          std::int64_t num_ranks) const;
+
+  /// Barrier = zero-byte allreduce.
+  [[nodiscard]] double barrier_seconds(std::int64_t num_ranks) const {
+    return allreduce_seconds(0.0, num_ranks);
+  }
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+ private:
+  [[nodiscard]] double worst_latency_seconds() const;
+
+  const Topology& topo_;
+  int ranks_per_node_;
+};
+
+}  // namespace g500::net

@@ -1,0 +1,86 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace g500::net {
+
+namespace {
+void check_positive(std::int64_t v, const char* what) {
+  if (v < 1) throw std::invalid_argument(std::string(what) + " must be >= 1");
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Flat
+
+FlatTopology::FlatTopology(std::int64_t num_nodes, LinkParams link)
+    : Topology(link), n_(num_nodes) {
+  check_positive(num_nodes, "num_nodes");
+}
+
+int FlatTopology::hops(std::int64_t a, std::int64_t b) const {
+  return a == b ? 0 : 1;
+}
+
+double FlatTopology::bisection_links() const {
+  // Crossbar: every node can push its full link across the cut.
+  return static_cast<double>(n_) / 2.0;
+}
+
+// ---------------------------------------------------------------- FatTree
+
+FatTreeTopology::FatTreeTopology(std::int64_t num_nodes, int radix,
+                                 double taper, LinkParams link)
+    : Topology(link), n_(num_nodes), radix_(radix), taper_(taper) {
+  check_positive(num_nodes, "num_nodes");
+  if (radix < 2) throw std::invalid_argument("fat-tree radix must be >= 2");
+  if (taper <= 0.0 || taper > 1.0) {
+    throw std::invalid_argument("fat-tree taper must be in (0, 1]");
+  }
+  leaf_size_ = radix_ / 2;                 // half the ports go down to nodes
+  pod_size_ = leaf_size_ * (radix_ / 2);   // k/2 edge switches per pod
+}
+
+int FatTreeTopology::hops(std::int64_t a, std::int64_t b) const {
+  if (a == b) return 0;
+  if (a / leaf_size_ == b / leaf_size_) return 2;   // via edge switch
+  if (a / pod_size_ == b / pod_size_) return 4;     // via aggregation
+  return 6;                                          // via core
+}
+
+double FatTreeTopology::bisection_links() const {
+  // Full Clos provides n/2 links across the cut; the core taper scales it.
+  return taper_ * static_cast<double>(n_) / 2.0;
+}
+
+// ---------------------------------------------------------------- Sunway
+
+SunwayTopology::SunwayTopology(std::int64_t num_supernodes,
+                               std::int64_t supernode_size,
+                               double central_taper, LinkParams link)
+    : Topology(link),
+      num_supernodes_(num_supernodes),
+      supernode_size_(supernode_size),
+      central_taper_(central_taper) {
+  check_positive(num_supernodes, "num_supernodes");
+  check_positive(supernode_size, "supernode_size");
+  if (central_taper <= 0.0 || central_taper > 1.0) {
+    throw std::invalid_argument("central_taper must be in (0, 1]");
+  }
+}
+
+int SunwayTopology::hops(std::int64_t a, std::int64_t b) const {
+  if (a == b) return 0;
+  return supernode_of(a) == supernode_of(b) ? 2 : 5;
+}
+
+double SunwayTopology::bisection_links() const {
+  if (num_supernodes_ == 1) {
+    return static_cast<double>(supernode_size_) / 2.0;
+  }
+  // The worst cut splits the supernode set; only the tapered central
+  // network carries that traffic.
+  return central_taper_ * static_cast<double>(num_nodes()) / 2.0;
+}
+
+}  // namespace g500::net

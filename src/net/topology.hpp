@@ -1,0 +1,132 @@
+// Interconnect topology models.
+//
+// The record run targets the New Sunway machine: nodes grouped into
+// supernodes (256 nodes, full-bisection internal network) joined by a
+// tapered central fat-tree.  simmpi measures *logical* traffic; this module
+// supplies the geometry (hop counts, bisection widths) that the cost model
+// in costmodel.hpp uses to turn traffic into time.  A flat crossbar and a
+// classic fat-tree are provided as comparators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace g500::net {
+
+/// Physical link parameters shared by all topologies.
+struct LinkParams {
+  double latency_us = 1.0;       ///< per-hop latency
+  double bandwidth_GBps = 16.0;  ///< per-link, per-direction
+  double injection_GBps = 16.0;  ///< NIC injection limit per node
+};
+
+/// Abstract interconnect: a set of `num_nodes()` endpoints with a distance
+/// metric and a bisection width.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::int64_t num_nodes() const = 0;
+
+  /// Switch hops between endpoints a and b (0 when a == b).
+  [[nodiscard]] virtual int hops(std::int64_t a, std::int64_t b) const = 0;
+
+  /// Number of links crossing the worst-case half/half cut.
+  [[nodiscard]] virtual double bisection_links() const = 0;
+
+  [[nodiscard]] const LinkParams& link() const noexcept { return link_; }
+
+  /// End-to-end latency between two endpoints.
+  [[nodiscard]] double latency_us(std::int64_t a, std::int64_t b) const {
+    return link_.latency_us * hops(a, b);
+  }
+
+  /// Aggregate bandwidth across the bisection.
+  [[nodiscard]] double bisection_GBps() const {
+    return bisection_links() * link_.bandwidth_GBps;
+  }
+
+ protected:
+  explicit Topology(LinkParams link) : link_(link) {}
+
+ private:
+  LinkParams link_;
+};
+
+/// Ideal full crossbar: one hop everywhere, full bisection.  Upper bound.
+class FlatTopology final : public Topology {
+ public:
+  FlatTopology(std::int64_t num_nodes, LinkParams link);
+
+  [[nodiscard]] std::string name() const override { return "flat"; }
+  [[nodiscard]] std::int64_t num_nodes() const override { return n_; }
+  [[nodiscard]] int hops(std::int64_t a, std::int64_t b) const override;
+  [[nodiscard]] double bisection_links() const override;
+
+ private:
+  std::int64_t n_;
+};
+
+/// Three-level fat-tree with `radix`-port switches and a configurable
+/// taper at the core level (taper = 1 is a full-bisection Clos).
+class FatTreeTopology final : public Topology {
+ public:
+  FatTreeTopology(std::int64_t num_nodes, int radix, double taper,
+                  LinkParams link);
+
+  [[nodiscard]] std::string name() const override { return "fat-tree"; }
+  [[nodiscard]] std::int64_t num_nodes() const override { return n_; }
+  [[nodiscard]] int hops(std::int64_t a, std::int64_t b) const override;
+  [[nodiscard]] double bisection_links() const override;
+
+  [[nodiscard]] std::int64_t nodes_per_edge_switch() const noexcept {
+    return leaf_size_;
+  }
+  [[nodiscard]] std::int64_t nodes_per_pod() const noexcept {
+    return pod_size_;
+  }
+
+ private:
+  std::int64_t n_;
+  int radix_;
+  double taper_;
+  std::int64_t leaf_size_;  // nodes under one edge switch
+  std::int64_t pod_size_;   // nodes under one aggregation group
+};
+
+/// Sunway-style hierarchy: supernodes of `supernode_size` nodes with full
+/// internal bisection; supernodes joined by a central network tapered by
+/// `central_taper` (fraction of per-node bandwidth available across the
+/// top-level bisection).
+class SunwayTopology final : public Topology {
+ public:
+  SunwayTopology(std::int64_t num_supernodes, std::int64_t supernode_size,
+                 double central_taper, LinkParams link);
+
+  [[nodiscard]] std::string name() const override { return "sunway"; }
+  [[nodiscard]] std::int64_t num_nodes() const override {
+    return num_supernodes_ * supernode_size_;
+  }
+  [[nodiscard]] int hops(std::int64_t a, std::int64_t b) const override;
+  [[nodiscard]] double bisection_links() const override;
+
+  [[nodiscard]] std::int64_t supernode_of(std::int64_t node) const noexcept {
+    return node / supernode_size_;
+  }
+  [[nodiscard]] std::int64_t num_supernodes() const noexcept {
+    return num_supernodes_;
+  }
+  [[nodiscard]] std::int64_t supernode_size() const noexcept {
+    return supernode_size_;
+  }
+  [[nodiscard]] double central_taper() const noexcept { return central_taper_; }
+
+ private:
+  std::int64_t num_supernodes_;
+  std::int64_t supernode_size_;
+  double central_taper_;
+};
+
+}  // namespace g500::net

@@ -1,0 +1,142 @@
+#include "simmpi/comm.hpp"
+
+#include <thread>
+
+namespace g500::simmpi {
+
+void CommStats::merge(const CommStats& other) {
+  alltoallv.merge(other.alltoallv);
+  allreduce.merge(other.allreduce);
+  allgather.merge(other.allgather);
+  broadcast.merge(other.broadcast);
+  barriers += other.barriers;
+  if (other.bytes_to.size() > bytes_to.size()) {
+    bytes_to.resize(other.bytes_to.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.bytes_to.size(); ++i) {
+    bytes_to[i] += other.bytes_to[i];
+  }
+}
+
+World::World(int num_ranks) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("simmpi::World needs at least one rank");
+  }
+  comms_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    comms_.emplace_back(new Comm(*this, r));
+    comms_.back()->stats_.resize(static_cast<std::size_t>(num_ranks));
+  }
+  slots_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+}
+
+void World::sync() {
+  barrier_->arrive_and_wait();
+  if (failed_.load(std::memory_order_acquire)) throw AbortedError{};
+}
+
+void Comm::barrier() {
+  ++stats_.barriers;
+  record(CollectiveKind::kBarrier, 0);
+  world_->sync();
+}
+
+void Comm::publish(const void* ptr) {
+  world_->slots_[static_cast<std::size_t>(rank_)] = ptr;
+  world_->sync();
+}
+
+const void* Comm::peer(int r) const {
+  return world_->slots_[static_cast<std::size_t>(r)];
+}
+
+void Comm::release() { world_->sync(); }
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  // Fresh barrier each run: a failed previous run leaves dropped
+  // participants behind, and normal completion must start from a clean
+  // expected-count anyway.
+  barrier_.emplace(static_cast<std::ptrdiff_t>(comms_.size()));
+  failed_.store(false, std::memory_order_release);
+  first_error_ = nullptr;
+
+  auto body = [&](Comm& comm) {
+    try {
+      fn(comm);
+    } catch (const AbortedError&) {
+      // Peer failed first; unwind quietly but release the barrier for any
+      // rank still waiting on a phase.
+      barrier_->arrive_and_drop();
+      return;
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_release);
+      barrier_->arrive_and_drop();
+      return;
+    }
+  };
+
+  if (comms_.size() == 1) {
+    body(*comms_[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(comms_.size());
+    for (auto& comm : comms_) {
+      threads.emplace_back([&body, &comm] { body(*comm); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  if (failed_.load(std::memory_order_acquire)) throw AbortedError{};
+}
+
+CommStats World::aggregate_stats() const {
+  CommStats total;
+  total.resize(comms_.size());
+  for (const auto& comm : comms_) total.merge(comm->stats_);
+  return total;
+}
+
+void World::reset_stats() {
+  for (auto& comm : comms_) {
+    comm->stats_.clear();
+    comm->trace_.clear();
+  }
+}
+
+void World::enable_trace(bool enabled) {
+  for (auto& comm : comms_) comm->trace_enabled_ = enabled;
+}
+
+std::vector<TraceRound> World::merged_trace() const {
+  const std::size_t length = comms_.front()->trace_.size();
+  for (const auto& comm : comms_) {
+    if (comm->trace_.size() != length) {
+      throw std::logic_error(
+          "merged_trace: rank trace lengths diverge (mismatched "
+          "collectives)");
+    }
+  }
+  std::vector<TraceRound> rounds(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    rounds[i].kind = comms_.front()->trace_[i].kind;
+    for (const auto& comm : comms_) {
+      const TraceEvent& event = comm->trace_[i];
+      if (event.kind != rounds[i].kind) {
+        throw std::logic_error(
+            "merged_trace: rank collective kinds diverge at round " +
+            std::to_string(i));
+      }
+      rounds[i].total_bytes += event.bytes;
+      rounds[i].max_rank_bytes = std::max(rounds[i].max_rank_bytes,
+                                          event.bytes);
+    }
+  }
+  return rounds;
+}
+
+}  // namespace g500::simmpi

@@ -1,0 +1,371 @@
+// simmpi — a simulated MPI-like SPMD runtime running every rank as a thread
+// inside one process.
+//
+// Why this exists: the paper's substrate is a 107k-node supercomputer.  The
+// reproduction runs the *same algorithm code* a real MPI rank would run, but
+// transports messages through shared memory, so algorithmic behaviour
+// (message volume, round counts, bucket dynamics) is bit-identical to a real
+// distributed execution while remaining runnable on one machine.  Every
+// collective records the traffic it would have put on a real interconnect
+// (see stats.hpp); the net/ and model/ layers map that traffic onto a
+// Sunway-like topology to produce scaling projections.
+//
+// Programming model: bulk-synchronous collectives only (barrier, alltoallv,
+// allreduce, allgather[v], broadcast).  Record-scale graph codes aggregate
+// all point-to-point traffic into alltoallv rounds anyway — at 40M cores,
+// un-aggregated sends are not survivable — so the BSP-only interface is a
+// feature, not a shortcut.
+//
+// Usage:
+//   simmpi::World world(8);
+//   world.run([&](simmpi::Comm& comm) {
+//     std::vector<std::vector<int>> out(comm.size());
+//     ... fill out[dst] ...
+//     std::vector<int> in = comm.alltoallv(out);
+//   });
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "simmpi/stats.hpp"
+#include "simmpi/trace.hpp"
+
+namespace g500::simmpi {
+
+class World;
+
+/// Thrown in surviving ranks when another rank exits with an exception, so
+/// the whole SPMD program unwinds instead of deadlocking on a barrier.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("simmpi: peer rank aborted") {}
+};
+
+/// Handle a rank uses to communicate.  One per rank, owned by World; valid
+/// only inside World::run.
+class Comm {
+ public:
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Global synchronization point.
+  void barrier();
+
+  /// Personalized all-to-all: out[d] is the data for rank d (out.size() must
+  /// equal size()).  Returns the received data concatenated in rank order.
+  /// Data for self (out[rank()]) is delivered too but not counted as traffic.
+  template <typename T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& out);
+
+  /// As above, but keeps per-source boundaries.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv_by_src(
+      const std::vector<std::vector<T>>& out);
+
+  /// Reduce `value` across all ranks with `op` (must be associative and
+  /// commutative); every rank gets the result.  Reduction order is rank
+  /// 0..P-1, identical on all ranks, so results are deterministic.
+  template <typename T, typename Op>
+  T allreduce(T value, Op op);
+
+  /// Sum / min / max conveniences.
+  template <typename T>
+  T allreduce_sum(T value) {
+    return allreduce(value, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_min(T value) {
+    return allreduce(value, [](T a, T b) { return b < a ? b : a; });
+  }
+  template <typename T>
+  T allreduce_max(T value) {
+    return allreduce(value, [](T a, T b) { return a < b ? b : a; });
+  }
+
+  /// Logical OR across ranks (any rank true).
+  bool allreduce_or(bool value) {
+    return allreduce_sum<std::uint32_t>(value ? 1u : 0u) != 0;
+  }
+
+  /// Element-wise reduction of equal-length vectors.
+  template <typename T, typename Op>
+  std::vector<T> allreduce_vec(const std::vector<T>& value, Op op);
+
+  /// Gather one value per rank; every rank receives the full vector.
+  template <typename T>
+  std::vector<T> allgather(const T& value);
+
+  /// Gather a variable-length vector per rank, concatenated in rank order.
+  /// If `offsets` is non-null it receives P+1 prefix offsets.
+  template <typename T>
+  std::vector<T> allgatherv(const std::vector<T>& value,
+                            std::vector<std::size_t>* offsets = nullptr);
+
+  /// Broadcast `value` from `root` to all ranks.
+  template <typename T>
+  void broadcast(T& value, int root);
+
+  /// This rank's traffic record (reset via World::reset_stats).
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  /// This rank's collective trace (empty unless World::enable_trace).
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  /// Publish this rank's slot pointer and wait until all ranks have.
+  void publish(const void* ptr);
+  /// Read rank r's published pointer (only between publish() and release()).
+  [[nodiscard]] const void* peer(int r) const;
+  /// Signal that this rank is done reading peers' data.
+  void release();
+
+  /// Append a trace event if tracing is on.
+  void record(CollectiveKind kind, std::uint64_t bytes) {
+    if (trace_enabled_) trace_.push_back(TraceEvent{kind, bytes});
+  }
+
+  World* world_;
+  int rank_;
+  CommStats stats_;
+  bool trace_enabled_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+/// Owns the simulated machine: N ranks, the shared barrier, the slot array.
+class World {
+ public:
+  /// num_ranks >= 1.  Each rank becomes one OS thread during run().
+  explicit World(int num_ranks);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(comms_.size());
+  }
+
+  /// Execute `fn(comm)` once per rank, in parallel.  If any rank throws, the
+  /// remaining ranks unwind with AbortedError and the first real exception
+  /// is rethrown here.  Statistics accumulate across calls until
+  /// reset_stats().
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// run() and collect one result per rank.
+  template <typename R>
+  std::vector<R> run_collect(const std::function<R(Comm&)>& fn) {
+    std::vector<R> results(comms_.size());
+    run([&](Comm& comm) { results[comm.rank()] = fn(comm); });
+    return results;
+  }
+
+  [[nodiscard]] const CommStats& rank_stats(int rank) const {
+    return comms_.at(rank)->stats_;
+  }
+
+  /// Sum of all per-rank records (bytes_to becomes the row-sum vector).
+  [[nodiscard]] CommStats aggregate_stats() const;
+
+  void reset_stats();
+
+  /// Start recording per-rank collective traces (cleared by reset_stats).
+  void enable_trace(bool enabled = true);
+
+  /// Merge the per-rank traces into a machine-wide round log.  Throws
+  /// std::logic_error if rank sequences diverge (mismatched collectives).
+  [[nodiscard]] std::vector<TraceRound> merged_trace() const;
+
+ private:
+  friend class Comm;
+
+  /// Barrier phase used by every collective; throws AbortedError in
+  /// surviving ranks once any rank has failed.
+  void sync();
+
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::optional<std::barrier<>> barrier_;  // recreated per run()
+  std::vector<const void*> slots_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+// ---------------------------------------------------------------------------
+
+inline int Comm::size() const noexcept { return world_->size(); }
+
+template <typename T>
+std::vector<std::vector<T>> Comm::alltoallv_by_src(
+    const std::vector<std::vector<T>>& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "alltoallv payloads must be trivially copyable (they model "
+                "wire data)");
+  const int P = size();
+  if (static_cast<int>(out.size()) != P) {
+    throw std::invalid_argument("alltoallv: out.size() != world size");
+  }
+  std::uint64_t call_bytes = 0;
+  for (int d = 0; d < P; ++d) {
+    if (d == rank_) continue;
+    const std::uint64_t bytes = out[d].size() * sizeof(T);
+    call_bytes += bytes;
+    stats_.alltoallv.bytes += bytes;
+    stats_.bytes_to[d] += bytes;
+    if (!out[d].empty()) ++stats_.alltoallv.messages;
+  }
+  ++stats_.alltoallv.calls;
+  record(CollectiveKind::kAlltoallv, call_bytes);
+
+  publish(&out);
+  std::vector<std::vector<T>> in(P);
+  for (int s = 0; s < P; ++s) {
+    const auto& src = *static_cast<const std::vector<std::vector<T>>*>(peer(s));
+    in[s] = src[rank_];  // copy: the source buffer is reused after release()
+  }
+  release();
+  return in;
+}
+
+template <typename T>
+std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& out) {
+  auto by_src = alltoallv_by_src(out);
+  std::size_t total = 0;
+  for (const auto& v : by_src) total += v.size();
+  std::vector<T> in;
+  in.reserve(total);
+  for (auto& v : by_src) in.insert(in.end(), v.begin(), v.end());
+  return in;
+}
+
+template <typename T, typename Op>
+T Comm::allreduce(T value, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = size();
+  stats_.allreduce.bytes += sizeof(T);  // logical: one contribution on the wire
+  stats_.allreduce.messages += 1;
+  ++stats_.allreduce.calls;
+  record(CollectiveKind::kAllreduce, sizeof(T));
+
+  publish(&value);
+  // Every rank reduces in identical order => identical result bits.
+  T result = *static_cast<const T*>(peer(0));
+  for (int s = 1; s < P; ++s) {
+    result = op(result, *static_cast<const T*>(peer(s)));
+  }
+  release();
+  return result;
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::allreduce_vec(const std::vector<T>& value, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = size();
+  stats_.allreduce.bytes += value.size() * sizeof(T);
+  stats_.allreduce.messages += 1;
+  ++stats_.allreduce.calls;
+  record(CollectiveKind::kAllreduce, value.size() * sizeof(T));
+
+  publish(&value);
+  std::vector<T> result = *static_cast<const std::vector<T>*>(peer(0));
+  for (int s = 1; s < P; ++s) {
+    const auto& contrib = *static_cast<const std::vector<T>*>(peer(s));
+    if (contrib.size() != result.size()) {
+      release();
+      throw std::invalid_argument("allreduce_vec: length mismatch");
+    }
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      result[i] = op(result[i], contrib[i]);
+    }
+  }
+  release();
+  return result;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = size();
+  stats_.allgather.bytes += sizeof(T);
+  stats_.allgather.messages += 1;
+  ++stats_.allgather.calls;
+  record(CollectiveKind::kAllgather, sizeof(T));
+
+  publish(&value);
+  std::vector<T> result;
+  result.reserve(P);
+  for (int s = 0; s < P; ++s) {
+    result.push_back(*static_cast<const T*>(peer(s)));
+  }
+  release();
+  return result;
+}
+
+template <typename T>
+std::vector<T> Comm::allgatherv(const std::vector<T>& value,
+                                std::vector<std::size_t>* offsets) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int P = size();
+  stats_.allgather.bytes += value.size() * sizeof(T);
+  stats_.allgather.messages += 1;
+  ++stats_.allgather.calls;
+  record(CollectiveKind::kAllgather, value.size() * sizeof(T));
+
+  publish(&value);
+  std::vector<T> result;
+  if (offsets != nullptr) {
+    offsets->assign(1, 0);
+    offsets->reserve(static_cast<std::size_t>(P) + 1);
+  }
+  std::size_t total = 0;
+  for (int s = 0; s < P; ++s) {
+    total += static_cast<const std::vector<T>*>(peer(s))->size();
+  }
+  result.reserve(total);
+  for (int s = 0; s < P; ++s) {
+    const auto& contrib = *static_cast<const std::vector<T>*>(peer(s));
+    result.insert(result.end(), contrib.begin(), contrib.end());
+    if (offsets != nullptr) offsets->push_back(result.size());
+  }
+  release();
+  return result;
+}
+
+template <typename T>
+void Comm::broadcast(T& value, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (root < 0 || root >= size()) {
+    throw std::invalid_argument("broadcast: bad root rank");
+  }
+  if (rank_ == root) {
+    stats_.broadcast.bytes += sizeof(T);
+    stats_.broadcast.messages += static_cast<std::uint64_t>(size()) - 1;
+  }
+  ++stats_.broadcast.calls;
+  record(CollectiveKind::kBroadcast, rank_ == root ? sizeof(T) : 0);
+
+  publish(&value);
+  const T result = *static_cast<const T*>(peer(root));
+  release();
+  value = result;
+}
+
+}  // namespace g500::simmpi

@@ -1,0 +1,71 @@
+// Communication statistics recorded by the simulated message-passing runtime.
+//
+// The record-run analysis in the paper hinges on *how much* traffic each
+// optimization removes, so the runtime counts every logical byte and message
+// that would cross the network in a real MPI execution.  Intra-rank traffic
+// (src == dst) is excluded: it never touches the interconnect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace g500::simmpi {
+
+/// Counters for one class of collective (alltoallv, allreduce, ...).
+struct CollectiveStats {
+  std::uint64_t calls = 0;     ///< number of invocations
+  std::uint64_t bytes = 0;     ///< payload bytes leaving this rank
+  std::uint64_t messages = 0;  ///< non-empty (src,dst) pairs, src != dst
+
+  void merge(const CollectiveStats& other) noexcept {
+    calls += other.calls;
+    bytes += other.bytes;
+    messages += other.messages;
+  }
+};
+
+/// Per-rank communication record.  World aggregates these after a run.
+struct CommStats {
+  CollectiveStats alltoallv;
+  CollectiveStats allreduce;
+  CollectiveStats allgather;
+  CollectiveStats broadcast;
+  std::uint64_t barriers = 0;
+
+  /// bytes_to[d]: payload bytes this rank addressed to rank d (alltoallv
+  /// only — the traffic matrix the topology cost model maps onto links).
+  std::vector<std::uint64_t> bytes_to;
+
+  void resize(std::size_t num_ranks) { bytes_to.assign(num_ranks, 0); }
+
+  void clear() {
+    alltoallv = {};
+    allreduce = {};
+    allgather = {};
+    broadcast = {};
+    barriers = 0;
+    for (auto& b : bytes_to) b = 0;
+  }
+
+  void merge(const CommStats& other);
+
+  /// Total payload bytes this rank put on the (simulated) wire.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return alltoallv.bytes + allreduce.bytes + allgather.bytes +
+           broadcast.bytes;
+  }
+
+  /// Total point-to-point messages implied by the collectives.
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return alltoallv.messages + allreduce.messages + allgather.messages +
+           broadcast.messages;
+  }
+
+  /// Number of global synchronization rounds (each collective costs one).
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return alltoallv.calls + allreduce.calls + allgather.calls +
+           broadcast.calls + barriers;
+  }
+};
+
+}  // namespace g500::simmpi

@@ -1,0 +1,54 @@
+// Collective-sequence tracing.
+//
+// When enabled on a World, every rank records one event per collective it
+// executes (kind + payload bytes it contributed).  Because the programming
+// model is SPMD with matched collectives, the per-rank sequences align
+// one-to-one and can be merged into a machine-wide round log — the input
+// the model::replay_trace analysis prices on a target interconnect,
+// round by round (the post-mortem methodology used to attribute record-run
+// time to phases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace g500::simmpi {
+
+enum class CollectiveKind : std::uint8_t {
+  kBarrier,
+  kAlltoallv,
+  kAllreduce,
+  kAllgather,
+  kBroadcast,
+};
+
+[[nodiscard]] constexpr const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBarrier:
+      return "barrier";
+    case CollectiveKind::kAlltoallv:
+      return "alltoallv";
+    case CollectiveKind::kAllreduce:
+      return "allreduce";
+    case CollectiveKind::kAllgather:
+      return "allgather";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+/// One rank's record of one collective.
+struct TraceEvent {
+  CollectiveKind kind;
+  std::uint64_t bytes;  ///< payload this rank contributed
+};
+
+/// One merged machine-wide round.
+struct TraceRound {
+  CollectiveKind kind;
+  std::uint64_t total_bytes = 0;     ///< summed over ranks
+  std::uint64_t max_rank_bytes = 0;  ///< busiest contributor
+};
+
+}  // namespace g500::simmpi

@@ -1,0 +1,75 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace g500::util {
+
+namespace {
+std::size_t bucket_index(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+}
+}  // namespace
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  max_ = std::max(max_, value);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double Log2Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return i == 0 ? 1 : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return max_;
+}
+
+std::string Log2Histogram::to_string(std::size_t bar_width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 0;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << i);
+    const std::uint64_t hi = (std::uint64_t{1} << (i + 1)) - 1;
+    const auto bar = static_cast<std::size_t>(
+        peak == 0 ? 0
+                  : (static_cast<double>(buckets_[i]) /
+                     static_cast<double>(peak)) *
+                        static_cast<double>(bar_width));
+    out << '[' << lo << ", " << hi << "]\t" << buckets_[i] << '\t'
+        << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace g500::util

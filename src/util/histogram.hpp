@@ -1,0 +1,42 @@
+// Power-of-two histogram for skewed distributions (degrees, bucket sizes,
+// message sizes).  Bucket k counts samples in [2^k, 2^(k+1)), with bucket 0
+// also absorbing the value 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g500::util {
+
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Merge another histogram into this one (used to aggregate per-rank stats).
+  void merge(const Log2Histogram& other);
+
+  [[nodiscard]] std::uint64_t total_count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t total_sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t max_value() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest v such that >= q of the mass is <= v, estimated from buckets
+  /// (upper bucket bound).  q in [0,1].
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Multi-line ASCII rendering: one row per non-empty bucket with a bar.
+  [[nodiscard]] std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace g500::util

@@ -1,0 +1,77 @@
+#include "util/options.hpp"
+
+#include <stdexcept>
+
+namespace g500::util {
+
+namespace {
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+}  // namespace
+
+Options::Options(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag, else boolean.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on";
+}
+
+}  // namespace g500::util

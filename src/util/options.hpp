@@ -1,0 +1,45 @@
+// Minimal command-line option parser for the example binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms; typed
+// getters with defaults; and automatic --help output.  Deliberately tiny —
+// examples need reproducible parameterization, not a CLI framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace g500::util {
+
+class Options {
+ public:
+  /// Parse argv.  Throws std::invalid_argument on malformed input
+  /// (e.g. `--name` at end of line when a value was expected is treated as
+  /// a boolean flag, never an error).
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non --) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace g500::util

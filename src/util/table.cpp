@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace g500::util {
+
+std::string si_format(double value, int precision) {
+  static constexpr struct {
+    double threshold;
+    const char* suffix;
+  } kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+  };
+  std::ostringstream out;
+  out << std::setprecision(precision) << std::fixed;
+  const double mag = std::fabs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.threshold) {
+      out << value / s.threshold << s.suffix;
+      return out.str();
+    }
+  }
+  out << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string(value)); }
+
+Table& Table::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+Table& Table::add(double value, int precision) {
+  std::ostringstream out;
+  out << std::setprecision(precision) << std::fixed << value;
+  return add(out.str());
+}
+
+Table& Table::add_si(double value, int precision) {
+  return add(si_format(value, precision));
+}
+
+void Table::print(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title.empty()) out << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::to_string(const std::string& title) const {
+  std::ostringstream out;
+  print(out, title);
+  return out.str();
+}
+
+}  // namespace g500::util

@@ -1,0 +1,47 @@
+// Aligned ASCII table printer used by the benchmark harnesses to emit the
+// paper-style result rows (EXPERIMENTS.md copies these verbatim).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace g500::util {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& value);
+  Table& add(const char* value);
+  Table& add(std::uint64_t value);
+  Table& add(std::int64_t value);
+  Table& add(int value);
+  /// Doubles are formatted with `precision` significant decimal digits.
+  Table& add(double value, int precision = 3);
+  /// Scientific-style human formatting: 1234567 -> "1.23M".
+  Table& add_si(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row_cells(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Render with column alignment, header underline, optional title.
+  void print(std::ostream& out, const std::string& title = {}) const;
+  [[nodiscard]] std::string to_string(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with SI suffix (k/M/G/T) — e.g. 1.5e9 -> "1.50G".
+std::string si_format(double value, int precision = 3);
+
+}  // namespace g500::util

@@ -1,0 +1,51 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace g500::util {
+
+/// Monotonic wall-clock stopwatch.  Construction starts it.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer for repeatedly-entered phases: `acc.add(t.seconds())`.
+class Accumulator {
+ public:
+  void add(double seconds) noexcept {
+    total_ += seconds;
+    ++count_;
+    if (seconds > max_) max_ = seconds;
+  }
+
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+  }
+
+  void clear() noexcept { *this = Accumulator{}; }
+
+ private:
+  double total_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace g500::util

@@ -1,0 +1,46 @@
+// End-to-end smoke test: build a Kronecker graph on 4 simulated ranks, run
+// the fully-optimized engine on a few roots, validate officially and
+// compare against the sequential Dijkstra oracle.
+#include <gtest/gtest.h>
+
+#include "core/delta_stepping.hpp"
+#include "core/dijkstra.hpp"
+#include "core/runner.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/kronecker.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+
+TEST(Smoke, KroneckerSsspMatchesDijkstraAndValidates) {
+  graph::KroneckerParams params;
+  params.scale = 10;
+  params.edgefactor = 8;
+
+  const graph::EdgeList whole = graph::kronecker_graph(params);
+
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const graph::DistGraph g = graph::build_kronecker(comm, params);
+    const auto roots = core::sample_roots(comm, g, 4, 7);
+    ASSERT_FALSE(roots.empty());
+    for (const auto root : roots) {
+      const core::SsspResult mine = core::delta_stepping(comm, g, root);
+      const auto report = core::validate_sssp(comm, g, root, mine);
+      EXPECT_TRUE(report.ok) << (report.errors.empty()
+                                     ? std::string("unknown")
+                                     : report.errors.front());
+      const core::SequentialResult got = core::gather_result(comm, g, mine);
+      const core::SequentialResult want = core::dijkstra(whole, root);
+      ASSERT_EQ(got.dist.size(), want.dist.size());
+      for (std::size_t v = 0; v < want.dist.size(); ++v) {
+        EXPECT_FLOAT_EQ(got.dist[v], want.dist[v]) << "vertex " << v;
+      }
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Coverage for less-travelled API corners across modules: argument
+// validation, empty/degenerate inputs, and accessor contracts that no
+// larger test exercises directly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/runner.hpp"
+#include "graph/grid2d.hpp"
+#include "graph/kronecker.hpp"
+#include "model/machine.hpp"
+#include "model/replay.hpp"
+#include "net/costmodel.hpp"
+#include "simmpi/comm.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace g500;
+
+TEST(ApiEdges, AllreduceVecLengthMismatchThrows) {
+  simmpi::World world(2);
+  EXPECT_THROW(
+      world.run([](simmpi::Comm& comm) {
+        std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1, 1);
+        (void)comm.allreduce_vec<int>(mine,
+                                      [](int a, int b) { return a + b; });
+      }),
+      std::invalid_argument);
+}
+
+TEST(ApiEdges, SourceBlockAccessorsOnEmptyBlock) {
+  const graph::SourceBlock block{std::vector<graph::WireEdge>{}};
+  EXPECT_EQ(block.num_sources(), 0u);
+  EXPECT_EQ(block.num_edges(), 0u);
+  EXPECT_TRUE(block.find(42).empty());
+}
+
+TEST(ApiEdges, SourceBlockSourceAccessor) {
+  std::vector<graph::WireEdge> edges = {{9, 1, 0.5f}, {3, 2, 0.25f}};
+  const graph::SourceBlock block(std::move(edges));
+  ASSERT_EQ(block.num_sources(), 2u);
+  EXPECT_EQ(block.source(0), 3u);  // sorted
+  EXPECT_EQ(block.source(1), 9u);
+}
+
+TEST(ApiEdges, KroneckerParamsAccessors) {
+  graph::KroneckerParams p;
+  p.scale = 5;
+  p.edgefactor = 3;
+  EXPECT_EQ(p.num_vertices(), 32u);
+  EXPECT_EQ(p.num_edges(), 96u);
+}
+
+TEST(ApiEdges, MachineTopologyAndScaling) {
+  const auto m = model::Machine::commodity_cluster(100);
+  EXPECT_EQ(m.topology().num_nodes(), 128);  // 2 supernodes of 64, rounded
+  const auto tiny = m.scaled_to(1);
+  EXPECT_EQ(tiny.topology().num_supernodes(), 1);
+  EXPECT_EQ(tiny.total_cores(), 64);
+}
+
+TEST(ApiEdges, ReplayReportPrintEmptyTrace) {
+  const auto report = model::replay_trace({}, model::Machine::new_sunway(),
+                                          16, 1, 16);
+  EXPECT_EQ(report.total_seconds, 0.0);
+  std::ostringstream out;
+  report.print(out);
+  EXPECT_NE(out.str().find("0 rounds"), std::string::npos);
+}
+
+TEST(ApiEdges, TableHandlesShortRows) {
+  util::Table t({"a", "b", "c"});
+  t.row().add("only-one");  // fewer cells than headers
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(ApiEdges, RunnerZeroRootsYieldsEmptyReport) {
+  graph::KroneckerParams params;
+  params.scale = 7;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const graph::DistGraph g = graph::build_kronecker(comm, params);
+    core::RunnerOptions opts;
+    opts.num_roots = 0;
+    const auto report = core::run_benchmark(comm, g, opts);
+    EXPECT_TRUE(report.runs.empty());
+    EXPECT_TRUE(report.all_valid);
+    EXPECT_EQ(report.harmonic_mean_teps, 0.0);
+  });
+}
+
+TEST(ApiEdges, BroadcastEveryRootDeliversDistinctPayloads) {
+  // Regression surface for slot reuse across back-to-back collectives.
+  simmpi::World world(5);
+  world.run([](simmpi::Comm& comm) {
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      std::uint64_t v =
+          comm.rank() == repeat % 5
+              ? util::hash64(static_cast<std::uint64_t>(repeat), 1)
+              : 0;
+      comm.broadcast(v, repeat % 5);
+      EXPECT_EQ(v, util::hash64(static_cast<std::uint64_t>(repeat), 1));
+    }
+  });
+}
+
+TEST(ApiEdges, ProcessGridLargePrimeDegeneratesGracefully) {
+  const graph::ProcessGrid grid(13);
+  EXPECT_EQ(grid.rows(), 1);
+  EXPECT_EQ(grid.cols(), 13);
+  EXPECT_EQ(grid.edge_home(5, 7), 5);  // 1 x P: column of the source owner
+}
+
+TEST(ApiEdges, CostModelFlatVsSunwayOrdering) {
+  // A tapered Sunway machine can never beat the ideal crossbar.
+  net::LinkParams link;
+  const net::FlatTopology flat(1024, link);
+  const net::SunwayTopology sunway(4, 256, 0.25, link);
+  const net::CostModel flat_cost(flat, 1);
+  const net::CostModel sunway_cost(sunway, 1);
+  const net::AlltoallTraffic traffic{1e7, 1e10, 0.5};
+  EXPECT_LE(flat_cost.alltoallv_seconds(traffic, 1024),
+            sunway_cost.alltoallv_seconds(traffic, 1024));
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Parameter-sweep tests for the BFS direction heuristic: correctness must
+// be independent of alpha/beta, while the switch behaviour tracks them.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/kronecker.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+std::vector<std::uint32_t> reference_levels(const EdgeList& list,
+                                            VertexId root) {
+  std::vector<std::vector<VertexId>> adj(list.num_vertices);
+  for (const auto& e : list.edges) {
+    if (e.src == e.dst) continue;
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  std::vector<std::uint32_t> level(list.num_vertices,
+                                   core::BfsResult::kNoLevel);
+  std::queue<VertexId> queue;
+  level[root] = 0;
+  queue.push(root);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop();
+    for (const VertexId v : adj[u]) {
+      if (level[v] == core::BfsResult::kNoLevel) {
+        level[v] = level[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+class BfsTuningSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBeta, BfsTuningSweep,
+    ::testing::Combine(::testing::Values(1.0, 4.0, 14.0, 1000.0),
+                       ::testing::Values(2.0, 24.0, 1000.0)));
+
+TEST_P(BfsTuningSweep, LevelsIndependentOfHeuristic) {
+  const auto [alpha, beta] = GetParam();
+  KroneckerParams params;
+  params.scale = 9;
+  params.edgefactor = 16;
+  const EdgeList whole = kronecker_graph(params);
+  const auto want = reference_levels(whole, 1);
+
+  simmpi::World world(4);
+  world.run([&, alpha = alpha, beta = beta](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(whole, comm.rank(), comm.size()),
+        whole.num_vertices);
+    core::BfsConfig config;
+    config.alpha = alpha;
+    config.beta = beta;
+    const auto mine = core::bfs(comm, g, 1, config);
+    EXPECT_TRUE(core::validate_bfs(comm, g, 1, mine).ok)
+        << "alpha " << alpha << " beta " << beta;
+    const auto levels = comm.allgatherv(mine.level);
+    for (std::size_t v = 0; v < want.size(); ++v) {
+      ASSERT_EQ(levels[v], want[v])
+          << "alpha " << alpha << " beta " << beta << " vertex " << v;
+    }
+  });
+}
+
+TEST(BfsTuning, LargeAlphaPullsEagerlyTinyAlphaNever) {
+  // The switch fires when frontier_edges > unexplored_edges / alpha, so a
+  // large alpha lowers the threshold (eager bottom-up) and a vanishing
+  // alpha raises it beyond reach.
+  KroneckerParams params;
+  params.scale = 10;
+  params.edgefactor = 16;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::BfsConfig eager;
+    eager.alpha = 1e6;
+    core::BfsConfig never;
+    never.alpha = 1e-9;
+    core::BfsStats eager_stats;
+    core::BfsStats never_stats;
+    (void)core::bfs(comm, g, 1, eager, &eager_stats);
+    (void)core::bfs(comm, g, 1, never, &never_stats);
+    EXPECT_GT(eager_stats.bottom_up_rounds, 0u);
+    EXPECT_EQ(never_stats.bottom_up_rounds, 0u);
+  });
+}
+
+TEST(BfsTuning, HugeBetaStaysBottomUpLonger) {
+  KroneckerParams params;
+  params.scale = 10;
+  params.edgefactor = 16;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::BfsConfig sticky;
+    sticky.beta = 1e18;  // never switch back to top-down
+    core::BfsConfig snappy;
+    snappy.beta = 1.0;  // switch back as soon as possible
+    core::BfsStats sticky_stats;
+    core::BfsStats snappy_stats;
+    (void)core::bfs(comm, g, 1, sticky, &sticky_stats);
+    (void)core::bfs(comm, g, 1, snappy, &snappy_stats);
+    EXPECT_GE(sticky_stats.bottom_up_rounds, snappy_stats.bottom_up_rounds);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Unit tests for the lazy-deletion bucket queue.
+#include <gtest/gtest.h>
+
+#include "core/bucket_queue.hpp"
+
+namespace {
+
+using g500::core::BucketQueue;
+using g500::graph::LocalId;
+
+TEST(BucketQueue, StartsEmpty) {
+  BucketQueue q(4);
+  EXPECT_EQ(q.next_nonempty(0), BucketQueue::kNone);
+  EXPECT_TRUE(q.extract(0).empty());
+  EXPECT_EQ(q.position(0), BucketQueue::kNone);
+}
+
+TEST(BucketQueue, InsertAndExtract) {
+  BucketQueue q(4);
+  q.update(2, 5);
+  EXPECT_EQ(q.position(2), 5u);
+  EXPECT_EQ(q.next_nonempty(0), 5u);
+  const auto got = q.extract(5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2u);
+  EXPECT_EQ(q.position(2), BucketQueue::kNone);
+  EXPECT_EQ(q.next_nonempty(0), BucketQueue::kNone);
+}
+
+TEST(BucketQueue, MoveLeavesStaleEntryBehind) {
+  BucketQueue q(4);
+  q.update(1, 7);
+  q.update(1, 3);  // moved down: entry in 7 is now stale
+  EXPECT_EQ(q.next_nonempty(0), 3u);
+  EXPECT_EQ(q.extract(3), std::vector<LocalId>{1});
+  // The stale copy in bucket 7 must not resurface.
+  EXPECT_TRUE(q.extract(7).empty());
+  EXPECT_EQ(q.next_nonempty(0), BucketQueue::kNone);
+}
+
+TEST(BucketQueue, ReinsertSameBucketIsIdempotent) {
+  BucketQueue q(2);
+  q.update(0, 2);
+  q.update(0, 2);
+  EXPECT_EQ(q.extract(2).size(), 1u);
+}
+
+TEST(BucketQueue, ReinsertAfterExtract) {
+  BucketQueue q(2);
+  q.update(0, 2);
+  (void)q.extract(2);
+  q.update(0, 2);
+  EXPECT_EQ(q.extract(2).size(), 1u);
+}
+
+TEST(BucketQueue, NextNonemptySkipsStaleBuckets) {
+  BucketQueue q(3);
+  q.update(0, 1);
+  q.update(1, 4);
+  q.update(0, 0);  // bucket 1 now holds only a stale entry
+  EXPECT_EQ(q.next_nonempty(0), 0u);
+  (void)q.extract(0);
+  EXPECT_EQ(q.next_nonempty(0), 4u);
+}
+
+TEST(BucketQueue, NextNonemptyRespectsFrom) {
+  BucketQueue q(3);
+  q.update(0, 1);
+  q.update(1, 5);
+  EXPECT_EQ(q.next_nonempty(2), 5u);
+}
+
+TEST(BucketQueue, ManyVerticesOneBucket) {
+  BucketQueue q(100);
+  for (LocalId v = 0; v < 100; ++v) q.update(v, 3);
+  const auto got = q.extract(3);
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(BucketQueue, TotalQueuedCountsInsertions) {
+  BucketQueue q(4);
+  q.update(0, 1);
+  q.update(0, 1);  // no-op
+  q.update(0, 0);  // move
+  EXPECT_EQ(q.total_queued(), 2u);
+}
+
+TEST(BucketQueue, GrowsToLargeBucketIndices) {
+  BucketQueue q(1);
+  q.update(0, 100000);
+  EXPECT_EQ(q.next_nonempty(0), 100000u);
+  EXPECT_GE(q.num_buckets(), 100001u);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for distributed connected components.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/components.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/kronecker.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+/// Sequential oracle: union-find over the edge list.
+std::vector<VertexId> reference_labels(const EdgeList& list) {
+  std::vector<VertexId> parent(list.num_vertices);
+  std::iota(parent.begin(), parent.end(), VertexId{0});
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& e : list.edges) {
+    const VertexId a = find(e.src);
+    const VertexId b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<VertexId> labels(list.num_vertices);
+  for (VertexId v = 0; v < list.num_vertices; ++v) labels[v] = find(v);
+  return labels;
+}
+
+void expect_matches_oracle(const EdgeList& list, int ranks) {
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()),
+        list.num_vertices);
+    const auto mine = core::connected_components(comm, g);
+    const auto labels = comm.allgatherv(mine);
+    const auto want = reference_labels(list);
+    ASSERT_EQ(labels.size(), want.size());
+    for (VertexId v = 0; v < list.num_vertices; ++v) {
+      EXPECT_EQ(labels[v], want[v]) << "vertex " << v << " ranks " << ranks;
+    }
+  });
+}
+
+class ComponentsSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, ComponentsSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST_P(ComponentsSweep, MatchesUnionFindOnKronecker) {
+  KroneckerParams params;
+  params.scale = 9;
+  params.edgefactor = 4;  // sparse enough to have several components
+  expect_matches_oracle(kronecker_graph(params), GetParam());
+}
+
+TEST_P(ComponentsSweep, MatchesUnionFindOnRandom) {
+  expect_matches_oracle(random_graph(200, 150, 13), GetParam());
+}
+
+TEST(Components, TwoIslandsAndDust) {
+  EdgeList list;
+  list.num_vertices = 9;
+  list.edges = {{0, 1, 0.5f}, {1, 2, 0.5f}, {4, 5, 0.5f}};
+  simmpi::World world(3);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(comm, slice_for_rank(list,
+                                                               comm.rank(),
+                                                               comm.size()),
+                                          9);
+    const auto labels = core::connected_components(comm, g);
+    const auto summary = core::summarize_components(comm, g, labels);
+    EXPECT_EQ(summary.num_components, 6u);  // {0,1,2}, {4,5}, 4 singletons
+    EXPECT_EQ(summary.largest_size, 3u);
+    EXPECT_EQ(summary.isolated_vertices, 4u);
+  });
+}
+
+TEST(Components, KroneckerHasOneGiantComponent) {
+  // The Graph 500 graph structure the benchmark relies on: nearly all
+  // non-isolated vertices form a single giant component.
+  KroneckerParams params;
+  params.scale = 11;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    const auto labels = core::connected_components(comm, g);
+    const auto summary = core::summarize_components(comm, g, labels);
+    EXPECT_GT(summary.largest_size, g.num_vertices / 2);
+    // Everything else is (almost entirely) isolated dust.
+    EXPECT_GT(summary.isolated_vertices + summary.largest_size,
+              static_cast<std::uint64_t>(0.95 * g.num_vertices));
+  });
+}
+
+TEST(Components, RoundsTrackCrossRankDiameterOnPath) {
+  // Label 0 must cross every rank boundary one exchange at a time, but
+  // cascades within a rank's block in a single round (immediate local
+  // application), so the round count sits between the rank-boundary count
+  // and the full hop diameter.
+  const EdgeList path = path_graph(64);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(path, comm.rank(), comm.size()), 64);
+    core::ComponentsStats stats;
+    (void)core::connected_components(comm, g, &stats);
+    EXPECT_GE(stats.rounds, 4u);
+    EXPECT_LE(stats.rounds, 70u);
+  });
+}
+
+TEST(Components, StatsCountWork) {
+  KroneckerParams params;
+  params.scale = 8;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::ComponentsStats stats;
+    (void)core::connected_components(comm, g, &stats);
+    EXPECT_GT(stats.rounds, 0u);
+    EXPECT_GT(comm.allreduce_sum(stats.labels_applied), 0u);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Unit tests for the sequential Dijkstra oracle.
+#include <gtest/gtest.h>
+
+#include "core/dijkstra.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+using core::dijkstra;
+
+EdgeList tiny() {
+  // 0 --0.5-- 1 --0.5-- 2,  0 --0.9-- 2,  3 isolated
+  EdgeList g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1, 0.5f}, {1, 2, 0.5f}, {0, 2, 0.9f}};
+  return g;
+}
+
+TEST(Dijkstra, PicksTheShorterRoute) {
+  const auto r = dijkstra(tiny(), 0);
+  EXPECT_FLOAT_EQ(r.dist[0], 0.0f);
+  EXPECT_FLOAT_EQ(r.dist[1], 0.5f);
+  EXPECT_FLOAT_EQ(r.dist[2], 0.9f);  // direct edge beats 1.0 via vertex 1
+  EXPECT_EQ(r.parent[2], 0u);
+}
+
+TEST(Dijkstra, RootIsItsOwnParent) {
+  const auto r = dijkstra(tiny(), 1);
+  EXPECT_EQ(r.parent[1], 1u);
+  EXPECT_FLOAT_EQ(r.dist[1], 0.0f);
+}
+
+TEST(Dijkstra, UnreachableVerticesStayInfinite) {
+  const auto r = dijkstra(tiny(), 0);
+  EXPECT_EQ(r.dist[3], kInfDistance);
+  EXPECT_EQ(r.parent[3], kNoVertex);
+}
+
+TEST(Dijkstra, UndirectedEdgesWorkBothWays) {
+  const auto r = dijkstra(tiny(), 2);
+  EXPECT_FLOAT_EQ(r.dist[0], 0.9f);
+  EXPECT_FLOAT_EQ(r.dist[1], 0.5f);
+}
+
+TEST(Dijkstra, ParallelEdgesResolveToMinWeight) {
+  EdgeList g;
+  g.num_vertices = 2;
+  g.edges = {{0, 1, 0.8f}, {1, 0, 0.3f}, {0, 1, 0.5f}};
+  const auto r = dijkstra(g, 0);
+  EXPECT_FLOAT_EQ(r.dist[1], 0.3f);
+}
+
+TEST(Dijkstra, SelfLoopsIgnored) {
+  EdgeList g;
+  g.num_vertices = 2;
+  g.edges = {{0, 0, 0.1f}, {0, 1, 0.5f}};
+  const auto r = dijkstra(g, 0);
+  EXPECT_FLOAT_EQ(r.dist[0], 0.0f);
+  EXPECT_FLOAT_EQ(r.dist[1], 0.5f);
+}
+
+TEST(Dijkstra, PathGraphAccumulatesWeights) {
+  const EdgeList g = path_graph(64, 9);
+  const auto r = dijkstra(g, 0);
+  float acc = 0.0f;
+  for (VertexId v = 1; v < 64; ++v) {
+    acc = acc + g.edges[v - 1].weight;
+    EXPECT_FLOAT_EQ(r.dist[v], acc);
+    EXPECT_EQ(r.parent[v], v - 1);
+  }
+}
+
+TEST(Dijkstra, TreeEdgesSatisfyDistanceEquation) {
+  const EdgeList g = grid_graph(8, 8, 4);
+  const auto r = dijkstra(g, 0);
+  for (VertexId v = 1; v < g.num_vertices; ++v) {
+    ASSERT_NE(r.parent[v], kNoVertex);
+    // Find the parent edge weight.
+    float w = -1.0f;
+    for (const auto& e : g.edges) {
+      if ((e.src == v && e.dst == r.parent[v]) ||
+          (e.dst == v && e.src == r.parent[v])) {
+        w = e.weight;
+        break;
+      }
+    }
+    ASSERT_GE(w, 0.0f);
+    EXPECT_FLOAT_EQ(r.dist[v], r.dist[r.parent[v]] + w);
+  }
+}
+
+TEST(Dijkstra, TriangleInequalityHoldsOnAllEdges) {
+  const EdgeList g = random_graph(64, 256, 11);
+  const auto r = dijkstra(g, 0);
+  for (const auto& e : g.edges) {
+    if (e.src == e.dst) continue;
+    if (r.dist[e.src] != kInfDistance) {
+      EXPECT_LE(r.dist[e.dst], r.dist[e.src] + e.weight + 1e-6f);
+    }
+  }
+}
+
+TEST(Dijkstra, RootOutOfRangeThrows) {
+  EXPECT_THROW((void)dijkstra(tiny(), 4), std::out_of_range);
+}
+
+TEST(Dijkstra, BadEdgeEndpointThrows) {
+  EdgeList g;
+  g.num_vertices = 2;
+  g.edges = {{0, 5, 0.5f}};
+  EXPECT_THROW((void)dijkstra(g, 0), std::out_of_range);
+}
+
+}  // namespace

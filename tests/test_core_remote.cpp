@@ -1,0 +1,75 @@
+// Tests for the distributed value-fetch helper.
+#include <gtest/gtest.h>
+
+#include "core/remote.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using graph::BlockPartition;
+using graph::VertexId;
+
+TEST(FetchValues, ReturnsOwnersValuesInQueryOrder) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(40, comm.size());
+    // Every owner stores value = global id * 10.
+    std::vector<std::uint64_t> local(part.count(comm.rank()));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = (part.begin(comm.rank()) + i) * 10;
+    }
+    // Query a scattered mix, including duplicates and self-owned ids.
+    const std::vector<VertexId> queries = {
+        39, 0, 7, 7, static_cast<VertexId>(part.begin(comm.rank())), 20, 39};
+    const auto got = core::fetch_values(comm, part, queries, local);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], queries[i] * 10) << "query " << i;
+    }
+  });
+}
+
+TEST(FetchValues, EmptyQueriesAreFine) {
+  simmpi::World world(3);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(9, comm.size());
+    std::vector<float> local(part.count(comm.rank()), 1.0f);
+    // Rank 1 queries, others pass empty sets — still collectively matched.
+    std::vector<VertexId> queries;
+    if (comm.rank() == 1) queries = {0, 8};
+    const auto got = core::fetch_values(comm, part, queries, local);
+    EXPECT_EQ(got.size(), queries.size());
+  });
+}
+
+TEST(FetchValues, SingleRank) {
+  simmpi::World world(1);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(5, 1);
+    const std::vector<int> local = {10, 11, 12, 13, 14};
+    const auto got =
+        core::fetch_values(comm, part, {4, 0, 2}, local);
+    EXPECT_EQ(got, (std::vector<int>{14, 10, 12}));
+  });
+}
+
+TEST(FetchValues, LargeVolume) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(1000, comm.size());
+    std::vector<VertexId> local(part.count(comm.rank()));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = part.begin(comm.rank()) + i;  // identity
+    }
+    std::vector<VertexId> queries;
+    for (VertexId v = comm.rank(); v < 1000; v += 3) queries.push_back(v);
+    const auto got = core::fetch_values(comm, part, queries, local);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], queries[i]);
+    }
+  });
+}
+
+}  // namespace

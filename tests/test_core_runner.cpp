@@ -1,0 +1,158 @@
+// Tests for the Graph 500 benchmark protocol runner.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/delta_stepping.hpp"
+#include "core/runner.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+TEST(SampleRoots, RootsAreDistinctEligibleAndDeterministic) {
+  KroneckerParams params;
+  params.scale = 9;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    const auto roots = core::sample_roots(comm, g, 16, 7);
+    ASSERT_EQ(roots.size(), 16u);
+    std::set<VertexId> unique(roots.begin(), roots.end());
+    EXPECT_EQ(unique.size(), 16u);
+    // Re-sampling with the same seed reproduces; another seed differs.
+    EXPECT_EQ(core::sample_roots(comm, g, 16, 7), roots);
+    EXPECT_NE(core::sample_roots(comm, g, 16, 8), roots);
+  });
+}
+
+TEST(SampleRoots, SameOnEveryRank) {
+  KroneckerParams params;
+  params.scale = 8;
+  simmpi::World world(4);
+  const auto lists = world.run_collect<std::vector<VertexId>>(
+      [&](simmpi::Comm& comm) {
+        const DistGraph g = build_kronecker(comm, params);
+        return core::sample_roots(comm, g, 8, 3);
+      });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(lists[r], lists[0]);
+}
+
+TEST(SampleRoots, SkipsIsolatedVertices) {
+  // Star graph: only vertex 0..n-1 touched by edges; make some isolated.
+  EdgeList list = star_graph(8);
+  list.num_vertices = 64;  // vertices 8..63 are isolated
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), 64);
+    const auto roots = core::sample_roots(comm, g, 8, 5);
+    ASSERT_EQ(roots.size(), 8u);
+    for (const auto r : roots) EXPECT_LT(r, 8u);
+  });
+}
+
+TEST(SampleRoots, CapsAtEligibleCount) {
+  EdgeList list;
+  list.num_vertices = 16;
+  list.edges = {{0, 1, 0.5f}};  // only two eligible vertices
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(comm, list, 16);
+    const auto roots = core::sample_roots(comm, g, 10, 1);
+    EXPECT_EQ(roots.size(), 2u);
+  });
+}
+
+TEST(RunBenchmark, ProtocolProducesValidatedReport) {
+  KroneckerParams params;
+  params.scale = 9;
+  params.edgefactor = 8;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::RunnerOptions opts;
+    opts.num_roots = 4;
+    const auto report = core::run_benchmark(comm, g, opts);
+    EXPECT_TRUE(report.all_valid);
+    ASSERT_EQ(report.runs.size(), 4u);
+    EXPECT_GT(report.harmonic_mean_teps, 0.0);
+    EXPECT_GT(report.mean_seconds, 0.0);
+    EXPECT_LE(report.min_seconds, report.max_seconds);
+    EXPECT_EQ(report.num_input_edges, params.num_edges());
+    EXPECT_EQ(report.num_ranks, 4);
+    for (const auto& run : report.runs) {
+      EXPECT_TRUE(run.valid);
+      EXPECT_GT(run.teps, 0.0);
+      EXPECT_GT(run.reachable, 0u);
+    }
+    // Harmonic mean lies within [min, max] of per-root TEPS.
+    double lo = report.runs[0].teps, hi = report.runs[0].teps;
+    for (const auto& run : report.runs) {
+      lo = std::min(lo, run.teps);
+      hi = std::max(hi, run.teps);
+    }
+    EXPECT_GE(report.harmonic_mean_teps, lo * 0.999);
+    EXPECT_LE(report.harmonic_mean_teps, hi * 1.001);
+  });
+}
+
+TEST(RunBenchmark, BellmanFordPathWorks) {
+  KroneckerParams params;
+  params.scale = 8;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::RunnerOptions opts;
+    opts.num_roots = 2;
+    opts.algorithm = core::Algorithm::kBellmanFord;
+    const auto report = core::run_benchmark(comm, g, opts);
+    EXPECT_TRUE(report.all_valid);
+    EXPECT_EQ(report.runs.size(), 2u);
+  });
+}
+
+TEST(RunBenchmark, ReportPrintsSummary) {
+  KroneckerParams params;
+  params.scale = 7;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::RunnerOptions opts;
+    opts.num_roots = 1;
+    const auto report = core::run_benchmark(comm, g, opts);
+    if (comm.rank() == 0) {
+      std::ostringstream out;
+      report.print(out);
+      EXPECT_NE(out.str().find("harmonic mean TEPS"), std::string::npos);
+      EXPECT_NE(out.str().find("all valid"), std::string::npos);
+    }
+  });
+}
+
+TEST(GlobalStats, SumsTrafficAndAveragesRounds) {
+  KroneckerParams params;
+  params.scale = 8;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::SsspStats local;
+    (void)core::delta_stepping(comm, g, 1, core::SsspConfig{}, &local);
+    const auto total = core::global_stats(comm, local);
+    // Round-type counters are global (identical per rank), so the
+    // aggregate must equal the local value.
+    EXPECT_EQ(total.buckets_processed, local.buckets_processed);
+    EXPECT_EQ(total.light_iterations, local.light_iterations);
+    // Traffic counters sum over ranks.
+    EXPECT_GE(total.relax_generated, local.relax_generated);
+    // Everything sent is received.
+    EXPECT_EQ(total.relax_sent, total.relax_received);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the official result checks: they must accept every correct
+// result and reject each class of corruption.
+#include <gtest/gtest.h>
+
+#include "core/delta_stepping.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+/// Build, solve, corrupt (via `mutate` on rank 0's slice), validate.
+core::ValidationReport corrupted_verdict(
+    const EdgeList& list, VertexId root,
+    const std::function<void(core::SsspResult&, const DistGraph&)>& mutate) {
+  core::ValidationReport verdict;
+  simmpi::World world(3);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()),
+        list.num_vertices);
+    core::SsspResult mine = core::delta_stepping(comm, g, root);
+    if (comm.rank() == 0) mutate(mine, g);
+    const auto v = core::validate_sssp(comm, g, root, mine);
+    if (comm.rank() == 0) verdict = v;
+  });
+  return verdict;
+}
+
+const EdgeList kGrid = grid_graph(6, 8, 77);
+
+TEST(Validate, AcceptsCorrectResult) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult&, const DistGraph&) {});
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_TRUE(verdict.errors.empty());
+  EXPECT_EQ(verdict.reachable, kGrid.num_vertices);
+  EXPECT_GT(verdict.edges_checked, 0u);
+}
+
+TEST(Validate, DetectsInflatedDistance) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph&) {
+        r.dist[3] += 5.0f;  // now some edge into vertex 3 is relaxable
+      });
+  EXPECT_FALSE(verdict.ok);
+  ASSERT_FALSE(verdict.errors.empty());
+}
+
+TEST(Validate, DetectsDeflatedDistance) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph&) {
+        r.dist[5] *= 0.1f;  // shorter than any real path: V3 must fail
+      });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsBogusParent) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph& g) {
+        // Point a vertex at a non-adjacent "parent" (grid vertex 2 is not
+        // adjacent to the far corner).
+        r.parent[2] = g.num_vertices - 1;
+      });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsFakeUnreachable) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph&) {
+        r.dist[4] = kInfDistance;
+        r.parent[4] = kNoVertex;  // V2: reachable neighbours contradict it
+      });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsReachabilityMismatch) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph&) {
+        r.parent[6] = kNoVertex;  // finite dist but no parent: V1
+      });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsParentCycle) {
+  // Two vertices pointing at each other (with plausible distances) must be
+  // caught by the pointer-doubling check even when V3 is fooled.
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1, 0.5f}, {1, 2, 0.25f}, {2, 3, 0.25f}, {3, 1, 0.25f}};
+  core::ValidationReport verdict;
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(comm, list, 4);
+    core::SsspResult mine = core::delta_stepping(comm, g, 0);
+    // Forge a 2-cycle between 2 and 3 with self-consistent distances:
+    // dist[2] = dist[3] + w(3,2), dist[3] = dist[2] + w(2,3) cannot both
+    // hold with positive weights, so force V4's job with equal distances.
+    mine.parent[2] = 3;
+    mine.parent[3] = 2;
+    mine.dist[2] = 1.0f;
+    mine.dist[3] = 1.0f;
+    verdict = core::validate_sssp(comm, g, 0, mine);
+  });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsWrongRootDistance) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0, [](core::SsspResult& r, const DistGraph&) {
+        r.dist[0] = 0.5f;  // root must be 0
+      });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, DetectsMalformedResultSize) {
+  const auto verdict = corrupted_verdict(
+      kGrid, 0,
+      [](core::SsspResult& r, const DistGraph&) { r.dist.pop_back(); });
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Validate, ErrorsArePropagatedToAllRanks) {
+  simmpi::World world(4);
+  const auto verdicts =
+      world.run_collect<int>([&](simmpi::Comm& comm) {
+        const DistGraph g = build_distributed(
+            comm, slice_for_rank(kGrid, comm.rank(), comm.size()),
+            kGrid.num_vertices);
+        core::SsspResult mine = core::delta_stepping(comm, g, 0);
+        if (comm.rank() == 2 && !mine.dist.empty()) {
+          mine.dist[0] += 3.0f;  // corrupt a non-reporting rank
+        }
+        const auto v = core::validate_sssp(comm, g, 0, mine);
+        return v.ok ? 1 : 0;
+      });
+  for (const int ok : verdicts) EXPECT_EQ(ok, 0);
+}
+
+TEST(Validate, UnreachableVerticesAreAccepted) {
+  EdgeList two_islands;
+  two_islands.num_vertices = 6;
+  two_islands.edges = {{0, 1, 0.3f}, {3, 4, 0.3f}, {4, 5, 0.3f}};
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(two_islands, comm.rank(), comm.size()), 6);
+    const auto mine = core::delta_stepping(comm, g, 0);
+    const auto verdict = core::validate_sssp(comm, g, 0, mine);
+    EXPECT_TRUE(verdict.ok);
+    EXPECT_EQ(verdict.reachable, 2u);  // only {0, 1}
+  });
+}
+
+}  // namespace

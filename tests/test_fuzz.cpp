@@ -1,0 +1,113 @@
+// Randomized cross-engine agreement: for a sweep of seeds, build a random
+// graph with random shape, pick random roots, and require that every
+// engine (1-D delta-stepping in default and plain trim, Bellman-Ford, the
+// 2-D engine) agrees with sequential Dijkstra and passes official
+// validation.  The widest net in the suite: anything that breaks only on
+// odd shapes (duplicate edges, dangling vertices, skewed degrees, rank
+// counts that don't divide n) lands here.
+#include <gtest/gtest.h>
+
+#include "core/bellman_ford.hpp"
+#include "core/delta_stepping.hpp"
+#include "core/delta_stepping_2d.hpp"
+#include "core/dijkstra.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/grid2d.hpp"
+#include "simmpi/comm.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+TEST_P(FuzzSweep, AllEnginesAgreeWithDijkstra) {
+  const std::uint64_t seed = GetParam();
+  util::SplitMix64 rng(util::hash64(0xf022, seed));
+
+  // Random shape: n in [2, 400], m in [0, 4n], ranks in [1, 9].
+  const auto n = static_cast<VertexId>(2 + rng.next_below(399));
+  const auto m = rng.next_below(4 * n + 1);
+  const int ranks = static_cast<int>(1 + rng.next_below(9));
+  const EdgeList list = random_graph(n, m, seed * 77 + 5);
+  const VertexId root = rng.next_below(n);
+
+  const auto want = core::dijkstra(list, root);
+
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), n);
+    const Dist2DGraph g2 = build_2d(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), n);
+
+    struct Attempt {
+      const char* name;
+      core::SsspResult result;
+    };
+    std::vector<Attempt> attempts;
+    attempts.push_back({"delta-default", core::delta_stepping(comm, g, root)});
+    attempts.push_back({"delta-plain", core::delta_stepping(
+                                           comm, g, root,
+                                           core::SsspConfig::plain())});
+    attempts.push_back({"bellman-ford", core::bellman_ford(comm, g, root)});
+    attempts.push_back({"delta-2d", core::delta_stepping_2d(comm, g2, root)});
+
+    for (const auto& attempt : attempts) {
+      const auto verdict = core::validate_sssp(comm, g, root, attempt.result);
+      EXPECT_TRUE(verdict.ok)
+          << attempt.name << " failed validation (seed " << seed << "): "
+          << (verdict.errors.empty() ? "?" : verdict.errors.front());
+      const auto whole = core::gather_result(comm, g, attempt.result);
+      for (VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(whole.dist[v], want.dist[v])
+            << attempt.name << " seed " << seed << " n " << n << " m " << m
+            << " ranks " << ranks << " root " << root << " vertex " << v;
+      }
+    }
+  });
+}
+
+TEST_P(FuzzSweep, MultiSourceAgreesWithMinOfSingles) {
+  const std::uint64_t seed = GetParam();
+  util::SplitMix64 rng(util::hash64(0xf033, seed));
+  const auto n = static_cast<VertexId>(3 + rng.next_below(200));
+  const EdgeList list = random_graph(n, 3 * n, seed * 131 + 17);
+  std::vector<VertexId> roots;
+  const std::size_t num_roots = 1 + rng.next_below(4);
+  while (roots.size() < num_roots) {
+    const VertexId candidate = rng.next_below(n);
+    if (std::find(roots.begin(), roots.end(), candidate) == roots.end()) {
+      roots.push_back(candidate);
+    }
+  }
+  const int ranks = static_cast<int>(1 + rng.next_below(5));
+
+  std::vector<float> want(n, kInfDistance);
+  for (const auto root : roots) {
+    const auto single = core::dijkstra(list, root);
+    for (VertexId v = 0; v < n; ++v) {
+      want[v] = std::min(want[v], single.dist[v]);
+    }
+  }
+
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), n);
+    const auto mine = core::delta_stepping_multi(comm, g, roots);
+    const auto whole = core::gather_result(comm, g, mine);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(whole.dist[v], want[v]) << "seed " << seed << " vertex " << v;
+    }
+  });
+}
+
+}  // namespace

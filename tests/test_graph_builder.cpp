@@ -1,0 +1,211 @@
+// Tests for distributed graph construction: cleaning semantics, rank-count
+// invariance, hub selection.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/kronecker.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+/// Gather the full directed edge set (src, dst, w) of a DistGraph.
+std::map<std::pair<VertexId, VertexId>, Weight> collect_edges(
+    simmpi::Comm& comm, const DistGraph& g) {
+  struct Row {
+    VertexId src, dst;
+    Weight w;
+  };
+  std::vector<Row> mine;
+  const VertexId my_begin = g.part.begin(comm.rank());
+  for (LocalId u = 0; u < g.csr.num_local(); ++u) {
+    for (std::uint64_t e = g.csr.edges_begin(u); e < g.csr.edges_end(u); ++e) {
+      mine.push_back(Row{my_begin + u, g.csr.dst(e), g.csr.weight(e)});
+    }
+  }
+  const auto all = comm.allgatherv(mine);
+  std::map<std::pair<VertexId, VertexId>, Weight> out;
+  for (const auto& r : all) out[{r.src, r.dst}] = r.w;
+  return out;
+}
+
+TEST(Builder, DropsSelfLoopsAndDedupsToMinWeight) {
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {
+      {0, 1, 0.9f}, {1, 0, 0.2f},  // duplicate in both orientations
+      {0, 1, 0.5f},                // duplicate same orientation
+      {2, 2, 0.1f},                // self loop
+      {2, 3, 0.7f},
+  };
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), 4);
+    EXPECT_EQ(g.num_input_edges, 5u);
+    EXPECT_EQ(g.num_directed_edges, 4u);  // {0,1} + {2,3}, both directions
+    const auto edges = collect_edges(comm, g);
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_FLOAT_EQ(edges.at({0, 1}), 0.2f);
+    EXPECT_FLOAT_EQ(edges.at({1, 0}), 0.2f);
+    EXPECT_FLOAT_EQ(edges.at({2, 3}), 0.7f);
+    EXPECT_FLOAT_EQ(edges.at({3, 2}), 0.7f);
+    EXPECT_EQ(edges.count({2, 2}), 0u);
+  });
+}
+
+class BuilderRankSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Ranks, BuilderRankSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(BuilderRankSweep, GlobalStructureIsRankCountInvariant) {
+  KroneckerParams params;
+  params.scale = 8;
+  params.edgefactor = 8;
+
+  // Reference: single-rank build.
+  std::map<std::pair<VertexId, VertexId>, Weight> reference;
+  {
+    simmpi::World world(1);
+    world.run([&](simmpi::Comm& comm) {
+      const DistGraph g = build_kronecker(comm, params);
+      reference = collect_edges(comm, g);
+    });
+  }
+
+  simmpi::World world(GetParam());
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    const auto edges = collect_edges(comm, g);
+    ASSERT_EQ(edges.size(), reference.size());
+    for (const auto& [key, w] : reference) {
+      auto it = edges.find(key);
+      ASSERT_NE(it, edges.end())
+          << "missing edge " << key.first << "->" << key.second;
+      EXPECT_FLOAT_EQ(it->second, w);
+    }
+    EXPECT_EQ(g.num_input_edges, params.num_edges());
+  });
+}
+
+TEST_P(BuilderRankSweep, HubListIsIdenticalOnAllRanks) {
+  KroneckerParams params;
+  params.scale = 9;
+  simmpi::World world(GetParam());
+  BuildOptions opts;
+  opts.hub_count = 16;
+  const auto hub_lists =
+      world.run_collect<std::vector<VertexId>>([&](simmpi::Comm& comm) {
+        return build_kronecker(comm, params, opts).hubs;
+      });
+  for (std::size_t r = 1; r < hub_lists.size(); ++r) {
+    EXPECT_EQ(hub_lists[r], hub_lists[0]);
+  }
+  EXPECT_EQ(hub_lists[0].size(), 16u);
+}
+
+TEST(Builder, HubsAreTheTopDegreeVertices) {
+  // Star graph: vertex 0 has degree n-1, all others degree 1.
+  const EdgeList star = star_graph(64);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    BuildOptions opts;
+    opts.hub_count = 4;
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(star, comm.rank(), comm.size()), 64, opts);
+    ASSERT_EQ(g.hubs.size(), 4u);
+    EXPECT_EQ(g.hubs[0], 0u);           // the center
+    EXPECT_EQ(g.hub_degrees[0], 63u);
+    for (std::size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(g.hub_degrees[i], 1u);
+    }
+    // Ties broken by ascending id.
+    EXPECT_LT(g.hubs[1], g.hubs[2]);
+    EXPECT_LT(g.hubs[2], g.hubs[3]);
+  });
+}
+
+TEST(Builder, HubCountZeroDisablesHubs) {
+  KroneckerParams params;
+  params.scale = 7;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    BuildOptions opts;
+    opts.hub_count = 0;
+    const DistGraph g = build_kronecker(comm, params, opts);
+    EXPECT_TRUE(g.hubs.empty());
+  });
+}
+
+TEST(Builder, PullIndexOptional) {
+  KroneckerParams params;
+  params.scale = 7;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    BuildOptions opts;
+    opts.build_pull_index = false;
+    const DistGraph g = build_kronecker(comm, params, opts);
+    EXPECT_EQ(g.pull.num_entries(), 0u);
+    BuildOptions with;
+    const DistGraph g2 = build_kronecker(comm, params, with);
+    EXPECT_EQ(g2.pull.num_entries(), g2.csr.num_edges());
+  });
+}
+
+TEST(Builder, DegreeHistogramCountsOwnedVertices) {
+  const EdgeList path = path_graph(16);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(path, comm.rank(), comm.size()), 16);
+    EXPECT_EQ(g.degree_hist.total_count(), g.csr.num_local());
+  });
+}
+
+TEST(Builder, SliceForRankTilesInput) {
+  const EdgeList whole = path_graph(100);
+  std::size_t total = 0;
+  for (int r = 0; r < 7; ++r) {
+    total += slice_for_rank(whole, r, 7).edges.size();
+  }
+  EXPECT_EQ(total, whole.edges.size());
+  EXPECT_THROW((void)slice_for_rank(whole, 7, 7), std::invalid_argument);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  EdgeList bad;
+  bad.num_vertices = 4;
+  bad.edges = {{0, 9, 0.5f}};
+  simmpi::World world(1);
+  EXPECT_THROW(world.run([&](simmpi::Comm& comm) {
+                 (void)build_distributed(comm, bad, 4);
+               }),
+               std::out_of_range);
+}
+
+TEST(Builder, EmptyVertexSetRejected) {
+  simmpi::World world(1);
+  EXPECT_THROW(world.run([&](simmpi::Comm& comm) {
+                 (void)build_distributed(comm, EdgeList{}, 0);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Builder, EdgelessGraphBuilds) {
+  EdgeList isolated;
+  isolated.num_vertices = 8;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(comm, isolated, 8);
+    EXPECT_EQ(g.num_directed_edges, 0u);
+    EXPECT_TRUE(g.hubs.empty());  // no vertex has degree > 0
+  });
+}
+
+}  // namespace

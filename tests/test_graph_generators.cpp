@@ -1,0 +1,128 @@
+// Unit tests for the structured graph generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace g500::graph;
+
+TEST(PathGraph, ShapeAndWeights) {
+  const EdgeList g = path_graph(5);
+  EXPECT_EQ(g.num_vertices, 5u);
+  ASSERT_EQ(g.num_edges(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.edges[i].src, i);
+    EXPECT_EQ(g.edges[i].dst, i + 1);
+    EXPECT_GT(g.edges[i].weight, 0.0f);
+    EXPECT_LT(g.edges[i].weight, 1.0f);
+  }
+}
+
+TEST(PathGraph, SingleVertexHasNoEdges) {
+  const EdgeList g = path_graph(1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(PathGraph, DeterministicPerSeed) {
+  const EdgeList a = path_graph(10, 5);
+  const EdgeList b = path_graph(10, 5);
+  const EdgeList c = path_graph(10, 6);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges[0].weight, c.edges[0].weight);
+}
+
+TEST(RingGraph, ClosesTheLoop) {
+  const EdgeList g = ring_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.edges.back().src, 5u);
+  EXPECT_EQ(g.edges.back().dst, 0u);
+}
+
+TEST(RingGraph, RejectsTiny) {
+  EXPECT_THROW((void)ring_graph(2), std::invalid_argument);
+}
+
+TEST(StarGraph, CenterTouchesAllLeaves) {
+  const EdgeList g = star_graph(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  std::set<VertexId> leaves;
+  for (const auto& e : g.edges) {
+    EXPECT_EQ(e.src, 0u);
+    leaves.insert(e.dst);
+  }
+  EXPECT_EQ(leaves.size(), 8u);
+}
+
+TEST(GridGraph, EdgeCountMatchesFormula) {
+  // rows x cols grid: rows*(cols-1) + cols*(rows-1) edges.
+  const EdgeList g = grid_graph(4, 6);
+  EXPECT_EQ(g.num_vertices, 24u);
+  EXPECT_EQ(g.num_edges(), 4u * 5 + 6u * 3);
+}
+
+TEST(GridGraph, NeighboursDifferByOneStep) {
+  const EdgeList g = grid_graph(3, 3);
+  for (const auto& e : g.edges) {
+    const auto diff = e.dst - e.src;
+    EXPECT_TRUE(diff == 1 || diff == 3) << e.src << "->" << e.dst;
+  }
+}
+
+TEST(GridGraph, DegenerateSingleRow) {
+  const EdgeList g = grid_graph(1, 5);
+  EXPECT_EQ(g.num_edges(), 4u);  // a path
+}
+
+TEST(CompleteGraph, AllPairsOnce) {
+  const EdgeList g = complete_graph(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  std::set<std::pair<VertexId, VertexId>> pairs;
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.src, e.dst);
+    EXPECT_TRUE(pairs.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(CompleteGraph, RejectsHuge) {
+  EXPECT_THROW((void)complete_graph(100000), std::invalid_argument);
+}
+
+TEST(RandomGraph, RespectsBounds) {
+  const EdgeList g = random_graph(100, 500, 3);
+  EXPECT_EQ(g.num_vertices, 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+  for (const auto& e : g.edges) {
+    EXPECT_LT(e.src, 100u);
+    EXPECT_LT(e.dst, 100u);
+  }
+}
+
+TEST(RandomGraph, ContainsSelfLoopsEventually) {
+  // With n=4 and many edges, self-loops are statistically certain; the
+  // builder must be able to digest them.
+  const EdgeList g = random_graph(4, 1000, 1);
+  bool self_loop = false;
+  for (const auto& e : g.edges) self_loop = self_loop || e.src == e.dst;
+  EXPECT_TRUE(self_loop);
+}
+
+TEST(EdgeWeight, DeterministicAndPositive) {
+  EXPECT_EQ(edge_weight(1, 1), edge_weight(1, 1));
+  EXPECT_NE(edge_weight(1, 1), edge_weight(1, 2));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_GT(edge_weight(7, i), 0.0f);
+    EXPECT_LT(edge_weight(7, i), 1.0f);
+  }
+}
+
+TEST(Generators, RejectEmpty) {
+  EXPECT_THROW((void)path_graph(0), std::invalid_argument);
+  EXPECT_THROW((void)star_graph(1), std::invalid_argument);
+  EXPECT_THROW((void)grid_graph(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)random_graph(0, 10), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for edge-list I/O (binary and TSV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/kronecker.hpp"
+
+namespace {
+
+using namespace g500::graph;
+
+TEST(BinaryIo, RoundTripsExactly) {
+  KroneckerParams params;
+  params.scale = 8;
+  const EdgeList original = kronecker_graph(params);
+  std::stringstream buffer;
+  write_edge_list_binary(buffer, original);
+  const EdgeList loaded = read_edge_list_binary(buffer);
+  EXPECT_EQ(loaded.num_vertices, original.num_vertices);
+  ASSERT_EQ(loaded.edges.size(), original.edges.size());
+  for (std::size_t i = 0; i < original.edges.size(); ++i) {
+    EXPECT_EQ(loaded.edges[i], original.edges[i]) << "edge " << i;
+  }
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrips) {
+  EdgeList empty;
+  empty.num_vertices = 42;
+  std::stringstream buffer;
+  write_edge_list_binary(buffer, empty);
+  const EdgeList loaded = read_edge_list_binary(buffer);
+  EXPECT_EQ(loaded.num_vertices, 42u);
+  EXPECT_TRUE(loaded.edges.empty());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "definitely not a graph file, but long enough to read a header";
+  EXPECT_THROW((void)read_edge_list_binary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedPayload) {
+  const EdgeList g = path_graph(10);
+  std::stringstream buffer;
+  write_edge_list_binary(buffer, g);
+  const std::string whole = buffer.str();
+  std::stringstream cut(whole.substr(0, whole.size() - 10));
+  EXPECT_THROW((void)read_edge_list_binary(cut), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/g500_io_test.bin";
+  const EdgeList g = grid_graph(4, 5, 9);
+  write_edge_list_binary(path, g);
+  const EdgeList loaded = read_edge_list_binary(path);
+  EXPECT_EQ(loaded.edges.size(), g.edges.size());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list_binary("/nonexistent/g500.bin"),
+               std::runtime_error);
+}
+
+TEST(TsvIo, RoundTripsStructure) {
+  const EdgeList g = star_graph(12, 4);
+  std::stringstream buffer;
+  write_edge_list_tsv(buffer, g);
+  const EdgeList loaded = read_edge_list_tsv(buffer);
+  EXPECT_EQ(loaded.num_vertices, g.num_vertices);
+  ASSERT_EQ(loaded.edges.size(), g.edges.size());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(loaded.edges[i].src, g.edges[i].src);
+    EXPECT_EQ(loaded.edges[i].dst, g.edges[i].dst);
+    EXPECT_NEAR(loaded.edges[i].weight, g.edges[i].weight, 1e-6);
+  }
+}
+
+TEST(TsvIo, ParsesCommentsAndDefaultWeight) {
+  std::stringstream in(
+      "# a comment\n"
+      "0\t1\t0.5\n"
+      "\n"
+      "1 2\n"        // missing weight -> 1.0, space separated is fine
+      "# trailing comment\n");
+  const EdgeList g = read_edge_list_tsv(in);
+  ASSERT_EQ(g.edges.size(), 2u);
+  EXPECT_FLOAT_EQ(g.edges[0].weight, 0.5f);
+  EXPECT_FLOAT_EQ(g.edges[1].weight, 1.0f);
+  EXPECT_EQ(g.num_vertices, 3u);
+}
+
+TEST(TsvIo, VerticesHeaderRaisesCount) {
+  std::stringstream in(
+      "# vertices: 100\n"
+      "0\t1\t0.5\n");
+  EXPECT_EQ(read_edge_list_tsv(in).num_vertices, 100u);
+}
+
+TEST(TsvIo, MalformedLineThrows) {
+  std::stringstream in("0\tnot_a_number\n");
+  EXPECT_THROW((void)read_edge_list_tsv(in), std::runtime_error);
+}
+
+TEST(TsvIo, RejectsNonPositiveWeights) {
+  std::stringstream zero("0\t1\t0.0\n");
+  EXPECT_THROW((void)read_edge_list_tsv(zero), std::runtime_error);
+  std::stringstream negative("0\t1\t-2\n");
+  EXPECT_THROW((void)read_edge_list_tsv(negative), std::runtime_error);
+}
+
+TEST(TsvIo, EmptyInputGivesEmptyGraph) {
+  std::stringstream in("");
+  const EdgeList g = read_edge_list_tsv(in);
+  EXPECT_EQ(g.num_vertices, 0u);
+  EXPECT_TRUE(g.edges.empty());
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Property tests for the 1-D block partition.
+#include <gtest/gtest.h>
+
+#include "graph/partition.hpp"
+
+namespace {
+
+using namespace g500::graph;
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 7, 64, 100, 1023,
+                                                        4096),
+                       ::testing::Values(1, 2, 3, 5, 8, 16, 33)));
+
+TEST_P(PartitionSweep, CountsSumToN) {
+  const auto [n, p] = GetParam();
+  BlockPartition part(n, p);
+  VertexId total = 0;
+  for (int r = 0; r < p; ++r) total += part.count(r);
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(PartitionSweep, CountsAreBalanced) {
+  const auto [n, p] = GetParam();
+  BlockPartition part(n, p);
+  VertexId lo = ~VertexId{0};
+  VertexId hi = 0;
+  for (int r = 0; r < p; ++r) {
+    lo = std::min(lo, part.count(r));
+    hi = std::max(hi, part.count(r));
+  }
+  EXPECT_LE(hi - lo, VertexId{1});
+}
+
+TEST_P(PartitionSweep, RangesAreContiguousAndOrdered) {
+  const auto [n, p] = GetParam();
+  BlockPartition part(n, p);
+  VertexId expect_begin = 0;
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(part.begin(r), expect_begin);
+    EXPECT_EQ(part.end(r), part.begin(r) + part.count(r));
+    expect_begin = part.end(r);
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST_P(PartitionSweep, OwnerLocalGlobalRoundTrip) {
+  const auto [n, p] = GetParam();
+  BlockPartition part(n, p);
+  // Exhaustive for small n, strided sample for large.
+  const VertexId step = n > 1000 ? n / 997 + 1 : 1;
+  for (VertexId v = 0; v < n; v += step) {
+    const int owner = part.owner(v);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, p);
+    EXPECT_GE(v, part.begin(owner));
+    EXPECT_LT(v, part.end(owner));
+    EXPECT_EQ(part.global(owner, part.local(v)), v);
+  }
+}
+
+TEST(BlockPartition, MoreRanksThanVertices) {
+  BlockPartition part(3, 8);
+  EXPECT_EQ(part.count(0), 1u);
+  EXPECT_EQ(part.count(2), 1u);
+  EXPECT_EQ(part.count(3), 0u);
+  EXPECT_EQ(part.count(7), 0u);
+  EXPECT_EQ(part.owner(2), 2);
+}
+
+TEST(BlockPartition, BoundsAreChecked) {
+  BlockPartition part(10, 2);
+  EXPECT_THROW((void)part.owner(10), std::out_of_range);
+  EXPECT_THROW((void)part.count(2), std::out_of_range);
+  EXPECT_THROW((void)part.begin(-1), std::out_of_range);
+}
+
+TEST(BlockPartition, ZeroRanksRejected) {
+  EXPECT_THROW(BlockPartition(10, 0), std::invalid_argument);
+}
+
+TEST(BlockPartition, DefaultConstructedIsEmpty) {
+  BlockPartition part;
+  EXPECT_EQ(part.num_vertices(), 0u);
+  EXPECT_EQ(part.num_ranks(), 1);
+}
+
+}  // namespace

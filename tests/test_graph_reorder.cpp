@@ -1,0 +1,153 @@
+// Tests for vertex relabeling: permutation validity and the invariance of
+// shortest paths under relabeling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/kronecker.hpp"
+#include "graph/reorder.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+void expect_bijection(const std::vector<VertexId>& perm, VertexId n) {
+  ASSERT_EQ(perm.size(), n);
+  std::set<VertexId> image(perm.begin(), perm.end());
+  EXPECT_EQ(image.size(), n);
+  if (n > 0) {
+    EXPECT_EQ(*image.begin(), 0u);
+    EXPECT_EQ(*image.rbegin(), n - 1);
+  }
+}
+
+TEST(DegreeOrder, StarCenterGetsIdZero) {
+  const EdgeList star = star_graph(32);
+  const auto perm = degree_descending_permutation(star);
+  expect_bijection(perm, 32);
+  EXPECT_EQ(perm[0], 0u);  // the hub keeps the first slot
+  // Leaves (all degree 1) stay in id order after the hub.
+  for (VertexId v = 1; v < 32; ++v) EXPECT_EQ(perm[v], v);
+}
+
+TEST(DegreeOrder, HubsFormDenseLowPrefix) {
+  KroneckerParams params;
+  params.scale = 10;
+  const EdgeList g = kronecker_graph(params);
+  const auto perm = degree_descending_permutation(g);
+  expect_bijection(perm, g.num_vertices);
+  // Degrees along the new ordering must be non-increasing.
+  std::vector<std::uint64_t> degree(g.num_vertices, 0);
+  for (const auto& e : g.edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  const auto inverse = invert_permutation(perm);
+  for (VertexId new_id = 1; new_id < g.num_vertices; ++new_id) {
+    EXPECT_GE(degree[inverse[new_id - 1]], degree[inverse[new_id]])
+        << "position " << new_id;
+  }
+}
+
+TEST(RandomPermutation, IsBijectiveAndSeedDependent) {
+  const auto a = random_permutation(1000, 7);
+  const auto b = random_permutation(1000, 7);
+  const auto c = random_permutation(1000, 8);
+  expect_bijection(a, 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Not the identity (probability ~ 0).
+  EXPECT_NE(a, random_permutation(1000, 0xffffffffULL) /*any other*/);
+  std::vector<VertexId> identity(1000);
+  std::iota(identity.begin(), identity.end(), VertexId{0});
+  EXPECT_NE(a, identity);
+}
+
+TEST(RandomPermutation, TinyDomains) {
+  expect_bijection(random_permutation(0, 1), 0);
+  expect_bijection(random_permutation(1, 1), 1);
+  expect_bijection(random_permutation(2, 1), 2);
+}
+
+TEST(ApplyPermutation, RelabelsEndpointsKeepsWeights) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 0.25f}, {1, 2, 0.75f}};
+  const std::vector<VertexId> perm = {2, 0, 1};
+  const EdgeList out = apply_permutation(g, perm);
+  ASSERT_EQ(out.edges.size(), 2u);
+  EXPECT_EQ(out.edges[0].src, 2u);
+  EXPECT_EQ(out.edges[0].dst, 0u);
+  EXPECT_FLOAT_EQ(out.edges[0].weight, 0.25f);
+  EXPECT_EQ(out.edges[1].src, 0u);
+  EXPECT_EQ(out.edges[1].dst, 1u);
+}
+
+TEST(ApplyPermutation, RejectsNonBijections) {
+  EdgeList g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 0.5f}};
+  EXPECT_THROW((void)apply_permutation(g, std::vector<VertexId>{0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apply_permutation(g, std::vector<VertexId>{0, 1, 9}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apply_permutation(g, std::vector<VertexId>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(InvertPermutation, RoundTrips) {
+  const auto perm = random_permutation(257, 3);
+  const auto inverse = invert_permutation(perm);
+  for (VertexId v = 0; v < 257; ++v) {
+    EXPECT_EQ(inverse[perm[v]], v);
+    EXPECT_EQ(perm[inverse[v]], v);
+  }
+}
+
+TEST(InvertPermutation, RejectsNonBijections) {
+  EXPECT_THROW((void)invert_permutation(std::vector<VertexId>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)invert_permutation(std::vector<VertexId>{2, 0}),
+               std::invalid_argument);
+}
+
+TEST(Reorder, ShortestPathsAreInvariantUnderRelabeling) {
+  // dist_relabelled[perm[v]] == dist_original[v] for any permutation.
+  const EdgeList g = random_graph(128, 512, 21);
+  const auto perm = random_permutation(g.num_vertices, 5);
+  const EdgeList relabelled = apply_permutation(g, perm);
+  const VertexId root = 7;
+  const auto original = core::dijkstra(g, root);
+  const auto mapped = core::dijkstra(relabelled, perm[root]);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(mapped.dist[perm[v]], original.dist[v]) << "vertex " << v;
+  }
+}
+
+TEST(Reorder, DegreeOrderImprovesHubPrefixCoverage) {
+  // After degree ordering, the first 1% of ids must cover a far larger
+  // fraction of edge endpoints than before (the property hub caching and
+  // dense hub state rely on).
+  KroneckerParams params;
+  params.scale = 11;
+  const EdgeList g = kronecker_graph(params);
+  const auto perm = degree_descending_permutation(g);
+  const VertexId prefix = g.num_vertices / 100 + 1;
+  auto coverage = [&](auto&& id_of) {
+    std::uint64_t hits = 0;
+    for (const auto& e : g.edges) {
+      if (id_of(e.src) < prefix) ++hits;
+      if (id_of(e.dst) < prefix) ++hits;
+    }
+    return hits;
+  };
+  const auto before = coverage([](VertexId v) { return v; });
+  const auto after = coverage([&](VertexId v) { return perm[v]; });
+  EXPECT_GT(after, before * 2);
+}
+
+}  // namespace

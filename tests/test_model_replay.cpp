@@ -1,0 +1,121 @@
+// Tests for collective tracing and trace replay.
+#include <gtest/gtest.h>
+
+#include "core/delta_stepping.hpp"
+#include "graph/builder.hpp"
+#include "model/replay.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using simmpi::CollectiveKind;
+
+TEST(Trace, DisabledByDefault) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) { comm.barrier(); });
+  EXPECT_TRUE(world.merged_trace().empty());
+}
+
+TEST(Trace, RecordsKindsInOrder) {
+  simmpi::World world(3);
+  world.enable_trace();
+  world.run([](simmpi::Comm& comm) {
+    comm.barrier();
+    (void)comm.allreduce_sum(1);
+    std::vector<std::vector<int>> out(3);
+    out[(comm.rank() + 1) % 3] = {1, 2};
+    (void)comm.alltoallv(out);
+    (void)comm.allgatherv(std::vector<double>{1.0});
+  });
+  const auto trace = world.merged_trace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].kind, CollectiveKind::kBarrier);
+  EXPECT_EQ(trace[1].kind, CollectiveKind::kAllreduce);
+  EXPECT_EQ(trace[2].kind, CollectiveKind::kAlltoallv);
+  EXPECT_EQ(trace[3].kind, CollectiveKind::kAllgather);
+  // alltoallv round: every rank sent 2 ints off-rank.
+  EXPECT_EQ(trace[2].total_bytes, 3u * 2 * sizeof(int));
+  EXPECT_EQ(trace[2].max_rank_bytes, 2 * sizeof(int));
+  EXPECT_EQ(trace[0].total_bytes, 0u);
+}
+
+TEST(Trace, ResetClears) {
+  simmpi::World world(2);
+  world.enable_trace();
+  world.run([](simmpi::Comm& comm) { comm.barrier(); });
+  EXPECT_EQ(world.merged_trace().size(), 1u);
+  world.reset_stats();
+  EXPECT_TRUE(world.merged_trace().empty());
+}
+
+TEST(Replay, PricesEveryRound) {
+  std::vector<simmpi::TraceRound> trace;
+  trace.push_back({CollectiveKind::kAlltoallv, 1 << 20, 1 << 14});
+  trace.push_back({CollectiveKind::kAllreduce, 256, 64});
+  trace.push_back({CollectiveKind::kBarrier, 0, 0});
+  const auto report = model::replay_trace(
+      trace, model::Machine::new_sunway(), 1024, 6, 64);
+  ASSERT_EQ(report.round_seconds.size(), 3u);
+  double sum = 0.0;
+  for (const double s : report.round_seconds) {
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_DOUBLE_EQ(sum, report.total_seconds);
+  EXPECT_EQ(report.by_kind.size(), 3u);
+}
+
+TEST(Replay, MoreTaperMeansMoreTime) {
+  std::vector<simmpi::TraceRound> trace(
+      10, {CollectiveKind::kAlltoallv, 1ULL << 30, 1ULL << 22});
+  model::Machine loose = model::Machine::new_sunway();
+  model::Machine tight = loose;
+  tight.central_taper = 0.02;
+  const auto a = model::replay_trace(trace, loose, 4096, 6, 64);
+  const auto b = model::replay_trace(trace, tight, 4096, 6, 64);
+  EXPECT_GT(b.total_seconds, a.total_seconds);
+}
+
+TEST(Replay, RejectsBadShapes) {
+  EXPECT_THROW((void)model::replay_trace({}, model::Machine::new_sunway(), 0,
+                                         6, 64),
+               std::invalid_argument);
+  EXPECT_THROW((void)model::replay_trace({}, model::Machine::new_sunway(),
+                                         16, 0, 64),
+               std::invalid_argument);
+  EXPECT_THROW((void)model::replay_trace({}, model::Machine::new_sunway(),
+                                         16, 6, 0),
+               std::invalid_argument);
+}
+
+TEST(Replay, EndToEndSsspTraceReplays) {
+  graph::KroneckerParams params;
+  params.scale = 10;
+  simmpi::World world(4);
+  std::vector<graph::DistGraph> graphs(4);
+  world.run([&](simmpi::Comm& comm) {
+    graphs[comm.rank()] = graph::build_kronecker(comm, params);
+  });
+  world.reset_stats();
+  world.enable_trace();
+  world.run([&](simmpi::Comm& comm) {
+    (void)core::delta_stepping(comm, graphs[comm.rank()], 1);
+  });
+  const auto trace = world.merged_trace();
+  ASSERT_FALSE(trace.empty());
+  const auto report =
+      model::replay_trace(trace, model::Machine::new_sunway(), 840, 6, 4);
+  EXPECT_GT(report.total_seconds, 0.0);
+  // The solve is alltoallv + allreduce dominated.
+  bool has_alltoallv = false;
+  for (const auto& b : report.by_kind) {
+    has_alltoallv = has_alltoallv || b.kind == CollectiveKind::kAlltoallv;
+  }
+  EXPECT_TRUE(has_alltoallv);
+  std::ostringstream out;
+  report.print(out);
+  EXPECT_NE(out.str().find("alltoallv"), std::string::npos);
+}
+
+}  // namespace

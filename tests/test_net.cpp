@@ -1,0 +1,170 @@
+// Unit tests for topologies and the collective cost model.
+#include <gtest/gtest.h>
+
+#include "net/costmodel.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace g500::net;
+
+LinkParams test_link() {
+  LinkParams l;
+  l.latency_us = 1.0;
+  l.bandwidth_GBps = 10.0;
+  l.injection_GBps = 10.0;
+  return l;
+}
+
+// --------------------------------------------------------------- Flat
+
+TEST(FlatTopology, HopsAreZeroOrOne) {
+  FlatTopology t(8, test_link());
+  EXPECT_EQ(t.hops(3, 3), 0);
+  EXPECT_EQ(t.hops(0, 7), 1);
+  EXPECT_EQ(t.num_nodes(), 8);
+}
+
+TEST(FlatTopology, FullBisection) {
+  FlatTopology t(16, test_link());
+  EXPECT_DOUBLE_EQ(t.bisection_links(), 8.0);
+  EXPECT_DOUBLE_EQ(t.bisection_GBps(), 80.0);
+}
+
+TEST(FlatTopology, RejectsZeroNodes) {
+  EXPECT_THROW(FlatTopology(0, test_link()), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ FatTree
+
+TEST(FatTreeTopology, HopCountsByLevel) {
+  // radix 8: 4 nodes per edge switch, 16 per pod.
+  FatTreeTopology t(64, 8, 1.0, test_link());
+  EXPECT_EQ(t.nodes_per_edge_switch(), 4);
+  EXPECT_EQ(t.nodes_per_pod(), 16);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 3), 2);   // same edge switch
+  EXPECT_EQ(t.hops(0, 4), 4);   // same pod, different switch
+  EXPECT_EQ(t.hops(0, 16), 6);  // across pods
+}
+
+TEST(FatTreeTopology, TaperScalesBisection) {
+  FatTreeTopology full(64, 8, 1.0, test_link());
+  FatTreeTopology tapered(64, 8, 0.5, test_link());
+  EXPECT_DOUBLE_EQ(tapered.bisection_links(), full.bisection_links() * 0.5);
+}
+
+TEST(FatTreeTopology, RejectsBadParameters) {
+  EXPECT_THROW(FatTreeTopology(8, 1, 1.0, test_link()),
+               std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(8, 8, 0.0, test_link()),
+               std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(8, 8, 1.5, test_link()),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Sunway
+
+TEST(SunwayTopology, SupernodeMembership) {
+  SunwayTopology t(4, 256, 0.25, test_link());
+  EXPECT_EQ(t.num_nodes(), 1024);
+  EXPECT_EQ(t.supernode_of(0), 0);
+  EXPECT_EQ(t.supernode_of(255), 0);
+  EXPECT_EQ(t.supernode_of(256), 1);
+  EXPECT_EQ(t.supernode_of(1023), 3);
+}
+
+TEST(SunwayTopology, HopsIntraVsInter) {
+  SunwayTopology t(4, 256, 0.25, test_link());
+  EXPECT_EQ(t.hops(5, 5), 0);
+  EXPECT_EQ(t.hops(0, 200), 2);   // intra-supernode
+  EXPECT_EQ(t.hops(0, 300), 5);   // inter-supernode
+}
+
+TEST(SunwayTopology, TaperedBisection) {
+  SunwayTopology t(4, 256, 0.25, test_link());
+  EXPECT_DOUBLE_EQ(t.bisection_links(), 0.25 * 1024 / 2.0);
+}
+
+TEST(SunwayTopology, SingleSupernodeIsFullBisection) {
+  SunwayTopology t(1, 64, 0.25, test_link());
+  EXPECT_DOUBLE_EQ(t.bisection_links(), 32.0);
+}
+
+TEST(SunwayTopology, LatencyScalesWithHops) {
+  SunwayTopology t(2, 4, 1.0, test_link());
+  EXPECT_DOUBLE_EQ(t.latency_us(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.latency_us(0, 5), 5.0);
+}
+
+// ----------------------------------------------------------- CostModel
+
+TEST(CostModel, AlltoallvScalesWithBytes) {
+  FlatTopology topo(64, test_link());
+  CostModel cost(topo, 1);
+  AlltoallTraffic small{1e6, 64e6, 0.5};
+  AlltoallTraffic large{2e6, 128e6, 0.5};
+  EXPECT_LT(cost.alltoallv_seconds(small, 64),
+            cost.alltoallv_seconds(large, 64));
+}
+
+TEST(CostModel, ZeroBytesCostsOnlyLatency) {
+  FlatTopology topo(16, test_link());
+  CostModel cost(topo, 1);
+  const double t = cost.alltoallv_seconds(AlltoallTraffic{}, 16);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1e-3);  // pure latency term
+}
+
+TEST(CostModel, BisectionBindsWhenTapered) {
+  // Heavily tapered Sunway: cross traffic should dominate injection.
+  SunwayTopology tapered(16, 64, 0.01, test_link());
+  SunwayTopology full(16, 64, 1.0, test_link());
+  CostModel ct(tapered, 1);
+  CostModel cf(full, 1);
+  AlltoallTraffic traffic{1e6, 1024e6, 0.5};
+  EXPECT_GT(ct.alltoallv_seconds(traffic, 1024),
+            cf.alltoallv_seconds(traffic, 1024));
+}
+
+TEST(CostModel, SharedInjectionSlowsColocatedRanks) {
+  FlatTopology topo(8, test_link());
+  CostModel one(topo, 1);
+  CostModel six(topo, 6);
+  AlltoallTraffic traffic{8e6, 64e6, 0.0};  // injection-bound
+  EXPECT_GT(six.alltoallv_seconds(traffic, 48),
+            one.alltoallv_seconds(traffic, 8));
+}
+
+TEST(CostModel, AllreduceGrowsLogarithmically) {
+  FlatTopology topo(1 << 20, test_link());
+  CostModel cost(topo, 1);
+  const double t1k = cost.allreduce_seconds(8, 1 << 10);
+  const double t1m = cost.allreduce_seconds(8, 1 << 20);
+  EXPECT_LT(t1k, t1m);
+  EXPECT_NEAR(t1m / t1k, 2.0, 0.2);  // log2 doubles from 10 to 20
+}
+
+TEST(CostModel, BarrierEqualsEmptyAllreduce) {
+  FlatTopology topo(64, test_link());
+  CostModel cost(topo, 1);
+  EXPECT_DOUBLE_EQ(cost.barrier_seconds(64), cost.allreduce_seconds(0.0, 64));
+}
+
+TEST(CostModel, AllgathervScalesWithTotalBytes) {
+  FlatTopology topo(64, test_link());
+  CostModel cost(topo, 1);
+  EXPECT_LT(cost.allgatherv_seconds(1e6, 64),
+            cost.allgatherv_seconds(1e9, 64));
+}
+
+TEST(CostModel, RejectsBadArguments) {
+  FlatTopology topo(4, test_link());
+  EXPECT_THROW(CostModel(topo, 0), std::invalid_argument);
+  CostModel cost(topo, 1);
+  EXPECT_THROW((void)cost.allreduce_seconds(8, 0), std::invalid_argument);
+  EXPECT_THROW((void)cost.alltoallv_seconds(AlltoallTraffic{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,275 @@
+// Unit tests for the simulated MPI runtime: collective semantics, traffic
+// accounting and failure propagation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+
+class SimMpiRanks : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SimMpiRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST_P(SimMpiRanks, AlltoallvDeliversEverything) {
+  simmpi::World world(GetParam());
+  world.run([](simmpi::Comm& comm) {
+    const int P = comm.size();
+    std::vector<std::vector<int>> out(P);
+    for (int d = 0; d < P; ++d) {
+      // rank r sends {r*100+d} repeated (d+1) times to rank d.
+      out[d].assign(d + 1, comm.rank() * 100 + d);
+    }
+    const std::vector<int> in = comm.alltoallv(out);
+    // Received: from each source s, (rank+1) copies of s*100+rank, in rank
+    // order.
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(P * (comm.rank() + 1)));
+    std::size_t idx = 0;
+    for (int s = 0; s < P; ++s) {
+      for (int k = 0; k <= comm.rank(); ++k) {
+        EXPECT_EQ(in[idx++], s * 100 + comm.rank());
+      }
+    }
+  });
+}
+
+TEST_P(SimMpiRanks, AlltoallvBySrcKeepsBoundaries) {
+  simmpi::World world(GetParam());
+  world.run([](simmpi::Comm& comm) {
+    const int P = comm.size();
+    std::vector<std::vector<std::uint64_t>> out(P);
+    for (int d = 0; d < P; ++d) out[d] = {static_cast<std::uint64_t>(d)};
+    const auto in = comm.alltoallv_by_src(out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      ASSERT_EQ(in[s].size(), 1u);
+      EXPECT_EQ(in[s][0], static_cast<std::uint64_t>(comm.rank()));
+    }
+  });
+}
+
+TEST_P(SimMpiRanks, AllreduceSumMinMax) {
+  simmpi::World world(GetParam());
+  const int P = GetParam();
+  world.run([P](simmpi::Comm& comm) {
+    const int r = comm.rank();
+    EXPECT_EQ(comm.allreduce_sum(r), P * (P - 1) / 2);
+    EXPECT_EQ(comm.allreduce_min(r), 0);
+    EXPECT_EQ(comm.allreduce_max(r), P - 1);
+    EXPECT_TRUE(comm.allreduce_or(r == P - 1));
+    EXPECT_FALSE(comm.allreduce_or(false));
+  });
+}
+
+TEST_P(SimMpiRanks, AllreduceVecElementwise) {
+  simmpi::World world(GetParam());
+  const int P = GetParam();
+  world.run([P](simmpi::Comm& comm) {
+    const std::vector<int> mine{comm.rank(), 1, -comm.rank()};
+    const auto sum = comm.allreduce_vec<int>(
+        mine, [](int a, int b) { return a + b; });
+    ASSERT_EQ(sum.size(), 3u);
+    EXPECT_EQ(sum[0], P * (P - 1) / 2);
+    EXPECT_EQ(sum[1], P);
+    EXPECT_EQ(sum[2], -P * (P - 1) / 2);
+  });
+}
+
+TEST_P(SimMpiRanks, AllgatherCollectsInRankOrder) {
+  simmpi::World world(GetParam());
+  const int P = GetParam();
+  world.run([P](simmpi::Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 3);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) EXPECT_EQ(all[s], s * 3);
+  });
+}
+
+TEST_P(SimMpiRanks, AllgathervVariableLengths) {
+  simmpi::World world(GetParam());
+  const int P = GetParam();
+  world.run([P](simmpi::Comm& comm) {
+    std::vector<char> mine(static_cast<std::size_t>(comm.rank()),
+                           static_cast<char>('a' + comm.rank()));
+    std::vector<std::size_t> offsets;
+    const auto all = comm.allgatherv(mine, &offsets);
+    ASSERT_EQ(offsets.size(), static_cast<std::size_t>(P) + 1);
+    EXPECT_EQ(offsets.front(), 0u);
+    EXPECT_EQ(offsets.back(), all.size());
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(offsets[s + 1] - offsets[s], static_cast<std::size_t>(s));
+      for (std::size_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+        EXPECT_EQ(all[i], static_cast<char>('a' + s));
+      }
+    }
+  });
+}
+
+TEST_P(SimMpiRanks, BroadcastFromEveryRoot) {
+  simmpi::World world(GetParam());
+  const int P = GetParam();
+  world.run([P](simmpi::Comm& comm) {
+    for (int root = 0; root < P; ++root) {
+      double v = comm.rank() == root ? 2.5 * root : -1.0;
+      comm.broadcast(v, root);
+      EXPECT_DOUBLE_EQ(v, 2.5 * root);
+    }
+  });
+}
+
+TEST(SimMpi, BarrierSynchronizes) {
+  simmpi::World world(4);
+  std::atomic<int> counter{0};
+  world.run([&counter](simmpi::Comm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must see all increments.
+    EXPECT_EQ(counter.load(), 4);
+  });
+}
+
+TEST(SimMpi, StatsCountOnlyRemoteTraffic) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) {
+    std::vector<std::vector<std::uint32_t>> out(2);
+    out[comm.rank()] = {1, 2, 3};       // self: free
+    out[1 - comm.rank()] = {4, 5};      // remote: 8 bytes
+    (void)comm.alltoallv(out);
+  });
+  const auto total = world.aggregate_stats();
+  EXPECT_EQ(total.alltoallv.bytes, 2u * 2 * sizeof(std::uint32_t));
+  EXPECT_EQ(total.alltoallv.messages, 2u);
+  EXPECT_EQ(total.alltoallv.calls, 2u);  // one call per rank
+}
+
+TEST(SimMpi, StatsTrafficMatrix) {
+  simmpi::World world(3);
+  world.run([](simmpi::Comm& comm) {
+    std::vector<std::vector<std::uint8_t>> out(3);
+    if (comm.rank() == 0) out[2] = {1, 2, 3, 4, 5};  // 5 bytes 0->2
+    (void)comm.alltoallv(out);
+  });
+  EXPECT_EQ(world.rank_stats(0).bytes_to[2], 5u);
+  EXPECT_EQ(world.rank_stats(0).bytes_to[1], 0u);
+  EXPECT_EQ(world.rank_stats(1).total_bytes(), 0u);
+}
+
+TEST(SimMpi, ResetStatsClears) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) { comm.barrier(); });
+  EXPECT_GT(world.aggregate_stats().barriers, 0u);
+  world.reset_stats();
+  EXPECT_EQ(world.aggregate_stats().barriers, 0u);
+  EXPECT_EQ(world.aggregate_stats().rounds(), 0u);
+}
+
+TEST(SimMpi, StatsAccumulateAcrossRuns) {
+  simmpi::World world(2);
+  world.run([](simmpi::Comm& comm) { comm.barrier(); });
+  world.run([](simmpi::Comm& comm) { comm.barrier(); });
+  EXPECT_EQ(world.aggregate_stats().barriers, 4u);  // 2 ranks x 2 runs
+}
+
+TEST(SimMpi, RunCollectGathersReturnValues) {
+  simmpi::World world(4);
+  const auto results = world.run_collect<int>(
+      [](simmpi::Comm& comm) { return comm.rank() * comm.rank(); });
+  ASSERT_EQ(results.size(), 4u);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(results[r], r * r);
+}
+
+TEST(SimMpi, ExceptionPropagatesFromOneRank) {
+  simmpi::World world(4);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 comm.barrier();
+                 if (comm.rank() == 2) {
+                   throw std::runtime_error("rank 2 failed");
+                 }
+                 // Survivors park on a barrier; the failure must release
+                 // them instead of deadlocking.
+                 comm.barrier();
+               }),
+               std::runtime_error);
+}
+
+TEST(SimMpi, WorldIsReusableAfterFailure) {
+  simmpi::World world(3);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 if (comm.rank() == 0) throw std::logic_error("boom");
+                 comm.barrier();
+               }),
+               std::logic_error);
+  // A failed run must not poison the next one.
+  world.run([](simmpi::Comm& comm) {
+    comm.barrier();
+    EXPECT_EQ(comm.allreduce_sum(1), 3);
+  });
+}
+
+TEST(SimMpi, MismatchedVectorLengthsThrow) {
+  simmpi::World world(2);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 std::vector<std::vector<int>> too_small(1);
+                 (void)comm.alltoallv(too_small);
+               }),
+               std::invalid_argument);
+}
+
+TEST(SimMpi, BadBroadcastRootThrows) {
+  simmpi::World world(2);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 int v = 0;
+                 comm.broadcast(v, 5);
+               }),
+               std::invalid_argument);
+}
+
+TEST(SimMpi, ZeroRanksRejected) {
+  EXPECT_THROW(simmpi::World w(0), std::invalid_argument);
+}
+
+TEST(SimMpi, SingleRankCollectivesAreIdentity) {
+  simmpi::World world(1);
+  world.run([](simmpi::Comm& comm) {
+    EXPECT_EQ(comm.allreduce_sum(7), 7);
+    const auto g = comm.allgather(3.5);
+    ASSERT_EQ(g.size(), 1u);
+    std::vector<std::vector<int>> out(1, std::vector<int>{1, 2});
+    const auto in = comm.alltoallv(out);
+    EXPECT_EQ(in, (std::vector<int>{1, 2}));
+  });
+  // Self traffic is free.
+  EXPECT_EQ(world.aggregate_stats().total_bytes(),
+            world.aggregate_stats().allreduce.bytes +
+                world.aggregate_stats().allgather.bytes);
+}
+
+TEST(SimMpi, DeterministicFloatReduction) {
+  // Reduction order is rank 0..P-1 on every rank, so float sums are
+  // bit-identical across ranks.
+  simmpi::World world(8);
+  const auto results = world.run_collect<float>([](simmpi::Comm& comm) {
+    const float mine = 0.1f * static_cast<float>(comm.rank() + 1);
+    return comm.allreduce_sum(mine);
+  });
+  for (int r = 1; r < 8; ++r) EXPECT_EQ(results[0], results[r]);
+}
+
+TEST(SimMpi, ManySmallRoundsSurvive) {
+  // Stress the barrier reuse: thousands of collective phases.
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 2000; ++i) {
+      acc += comm.allreduce_sum<std::uint64_t>(1);
+    }
+    EXPECT_EQ(acc, 2000u * 4);
+  });
+}
+
+}  // namespace

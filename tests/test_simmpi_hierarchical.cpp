@@ -1,0 +1,134 @@
+// Tests for the two-level supernode-aggregated alltoallv.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/delta_stepping.hpp"
+#include "core/validate.hpp"
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/hierarchical.hpp"
+
+namespace {
+
+using namespace g500;
+
+class HierarchicalSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(RanksGroups, HierarchicalSweep,
+                         ::testing::Combine(::testing::Values(4, 6, 8, 12, 16),
+                                            ::testing::Values(2, 3, 4)));
+
+TEST_P(HierarchicalSweep, DeliversSamePayloadsAsFlat) {
+  const auto [ranks, group] = GetParam();
+  simmpi::World world(ranks);
+  world.run([group = group](simmpi::Comm& comm) {
+    const int P = comm.size();
+    std::vector<std::vector<std::uint64_t>> out(P);
+    // rank r sends {r * 1000 + d + i} for i < (r + d) % 3 items to d.
+    for (int d = 0; d < P; ++d) {
+      for (int i = 0; i < (comm.rank() + d) % 3; ++i) {
+        out[d].push_back(
+            static_cast<std::uint64_t>(comm.rank() * 1000 + d * 10 + i));
+      }
+    }
+    auto flat = comm.alltoallv(out);
+    auto routed = simmpi::two_level_alltoallv(comm, out, group);
+    // Same multiset of payloads; order may differ by design.
+    std::sort(flat.begin(), flat.end());
+    std::sort(routed.begin(), routed.end());
+    EXPECT_EQ(flat, routed);
+  });
+}
+
+TEST(Hierarchical, DegenerateGroupsFallBackToFlat) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    std::vector<std::vector<int>> out(4);
+    out[(comm.rank() + 1) % 4] = {comm.rank()};
+    const auto a = simmpi::two_level_alltoallv(comm, out, 0);
+    const auto b = simmpi::two_level_alltoallv(comm, out, 1);
+    const auto c = simmpi::two_level_alltoallv(comm, out, 4);
+    const auto d = simmpi::two_level_alltoallv(comm, out, 99);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(a, d);
+  });
+}
+
+TEST(Hierarchical, ReducesMessageCountOnDenseExchanges) {
+  // All-pairs traffic: flat needs P*(P-1) messages; the two-level schedule
+  // concentrates it into far fewer, larger messages.
+  constexpr int kRanks = 16;
+  auto count_messages = [](bool hierarchical) {
+    simmpi::World world(kRanks);
+    world.run([hierarchical](simmpi::Comm& comm) {
+      std::vector<std::vector<std::uint32_t>> out(kRanks);
+      for (int d = 0; d < kRanks; ++d) {
+        out[d] = {static_cast<std::uint32_t>(comm.rank()), 1u, 2u};
+      }
+      if (hierarchical) {
+        (void)simmpi::two_level_alltoallv(comm, out, 4);
+      } else {
+        (void)comm.alltoallv(out);
+      }
+    });
+    return world.aggregate_stats().alltoallv.messages;
+  };
+  const auto flat = count_messages(false);
+  const auto routed = count_messages(true);
+  EXPECT_EQ(flat, static_cast<std::uint64_t>(kRanks) * (kRanks - 1));
+  EXPECT_LT(routed, flat);
+}
+
+TEST(Hierarchical, MismatchedOutboxThrows) {
+  simmpi::World world(4);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 std::vector<std::vector<int>> bad(2);
+                 (void)simmpi::two_level_alltoallv(comm, bad, 2);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Hierarchical, EngineProducesIdenticalDistances) {
+  graph::KroneckerParams params;
+  params.scale = 9;
+  std::vector<float> reference;
+  for (const int group : {0, 2, 4}) {
+    simmpi::World world(8);
+    world.run([&](simmpi::Comm& comm) {
+      const graph::DistGraph g = graph::build_kronecker(comm, params);
+      core::SsspConfig config;
+      config.hierarchical_group = group;
+      const auto mine = core::delta_stepping(comm, g, 3, config);
+      EXPECT_TRUE(core::validate_sssp(comm, g, 3, mine).ok);
+      const auto whole = core::gather_result(comm, g, mine);
+      if (comm.rank() == 0) {
+        if (reference.empty()) {
+          reference = whole.dist;
+        } else {
+          EXPECT_EQ(whole.dist, reference) << "group " << group;
+        }
+      }
+    });
+  }
+}
+
+TEST(Hierarchical, UnevenLastGroupStillDelivers) {
+  // 10 ranks with groups of 4: the last group has only 2 members.
+  simmpi::World world(10);
+  world.run([](simmpi::Comm& comm) {
+    std::vector<std::vector<int>> out(10);
+    for (int d = 0; d < 10; ++d) out[d] = {comm.rank() * 100 + d};
+    auto got = simmpi::two_level_alltoallv(comm, out, 4);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got.size(), 10u);
+    for (int s = 0; s < 10; ++s) {
+      EXPECT_EQ(got[s], s * 100 + comm.rank());
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for histogram, table printer, CLI options and timers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/histogram.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace g500::util;
+
+// ------------------------------------------------------------ Log2Histogram
+
+TEST(Log2Histogram, EmptyIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.total_sum(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  // 0 and 1 share bucket 0; 2,3 in bucket 1; 4 in bucket 2.
+  ASSERT_GE(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(Log2Histogram, TracksSumCountMax) {
+  Log2Histogram h;
+  h.add(10);
+  h.add(20);
+  h.add(5, 2);  // weighted
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.total_sum(), 40u);
+  EXPECT_EQ(h.max_value(), 20u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Log2Histogram, MergeCombines) {
+  Log2Histogram a;
+  Log2Histogram b;
+  a.add(1);
+  a.add(1000);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 3u);
+  EXPECT_EQ(a.max_value(), 1000u);
+  EXPECT_EQ(a.total_sum(), 1008u);
+}
+
+TEST(Log2Histogram, MergeIntoEmpty) {
+  Log2Histogram a;
+  Log2Histogram b;
+  b.add(42);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 1u);
+  EXPECT_EQ(a.max_value(), 42u);
+}
+
+TEST(Log2Histogram, QuantileUpperBoundIsMonotone) {
+  Log2Histogram h;
+  for (std::uint64_t i = 1; i <= 1024; ++i) h.add(i);
+  const auto q25 = h.quantile_upper_bound(0.25);
+  const auto q50 = h.quantile_upper_bound(0.5);
+  const auto q99 = h.quantile_upper_bound(0.99);
+  EXPECT_LE(q25, q50);
+  EXPECT_LE(q50, q99);
+  EXPECT_GE(q99, 512u);
+}
+
+TEST(Log2Histogram, ToStringMentionsBuckets) {
+  Log2Histogram h;
+  h.add(3);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[2, 3]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "longheader"});
+  t.row().add("xx").add(1);
+  t.row().add("y").add(123456);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("longheader"), std::string::npos);
+  EXPECT_NE(s.find("123456"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, TitleIsPrinted) {
+  Table t({"x"});
+  t.row().add(1);
+  const std::string s = t.to_string("my title");
+  EXPECT_NE(s.find("== my title =="), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.row().add(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+}
+
+TEST(Table, SiFormatting) {
+  EXPECT_EQ(si_format(1500.0, 1), "1.5k");
+  EXPECT_EQ(si_format(2.5e6, 1), "2.5M");
+  EXPECT_EQ(si_format(3.25e9, 2), "3.25G");
+  EXPECT_EQ(si_format(1.2e13, 1), "12.0T");
+  EXPECT_EQ(si_format(12.0, 0), "12");
+}
+
+TEST(Table, RowCellAccess) {
+  Table t({"a", "b"});
+  t.row().add("p").add("q");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row_cells(0)[1], "q");
+}
+
+// -------------------------------------------------------------- Options
+
+TEST(Options, ParsesSpaceSeparated) {
+  const char* argv[] = {"prog", "--scale", "14", "--name", "abc"};
+  Options o(5, argv);
+  EXPECT_EQ(o.get_int("scale", 0), 14);
+  EXPECT_EQ(o.get("name", ""), "abc");
+}
+
+TEST(Options, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--delta=0.25"};
+  Options o(2, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("delta", 0.0), 0.25);
+}
+
+TEST(Options, BooleanFlags) {
+  const char* argv[] = {"prog", "--verbose", "--quiet"};
+  Options o(3, argv);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.get_bool("quiet", false));
+  EXPECT_FALSE(o.get_bool("absent", false));
+}
+
+TEST(Options, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Options o(1, argv);
+  EXPECT_EQ(o.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(o.get_double("y", 1.5), 1.5);
+  EXPECT_EQ(o.get("z", "dflt"), "dflt");
+}
+
+TEST(Options, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--flag", "out.txt"};
+  Options o(4, argv);
+  // "--flag out.txt" consumes out.txt as the flag value.
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "input.txt");
+  EXPECT_EQ(o.get("flag", ""), "out.txt");
+}
+
+TEST(Options, MalformedIntThrows) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  Options o(3, argv);
+  EXPECT_THROW((void)o.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Options, HasDetectsPresence) {
+  const char* argv[] = {"prog", "--a=1"};
+  Options o(2, argv);
+  EXPECT_TRUE(o.has("a"));
+  EXPECT_FALSE(o.has("b"));
+}
+
+// ---------------------------------------------------------------- Timer
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+TEST(Accumulator, TracksTotalsAndMax) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  acc.add(2.0);
+  EXPECT_DOUBLE_EQ(acc.total(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_EQ(acc.count(), 3u);
+  acc.clear();
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+}  // namespace

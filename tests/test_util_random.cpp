@@ -1,0 +1,142 @@
+// Unit tests for the deterministic random primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace {
+
+using namespace g500::util;
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(Mix64, ChangesInput) {
+  // A strong mixer should not fix small values.
+  for (std::uint64_t x = 1; x < 100; ++x) {
+    EXPECT_NE(mix64(x), x);
+  }
+}
+
+TEST(Mix64, IsInjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    EXPECT_TRUE(seen.insert(mix64(x)).second) << "collision at " << x;
+  }
+}
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x123456789abcdefULL);
+    const std::uint64_t b = mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 10) << "bit " << bit;
+    EXPECT_LT(flipped, 54) << "bit " << bit;
+  }
+}
+
+TEST(Hash64, TwoWordOrderMatters) {
+  EXPECT_NE(hash64(1, 2), hash64(2, 1));
+}
+
+TEST(Hash64, ThreeWordDistinctFromTwoWord) {
+  EXPECT_NE(hash64(1, 2, 3), hash64(1, 2));
+  EXPECT_NE(hash64(1, 2, 3), hash64(1, 3, 2));
+}
+
+TEST(Hash64, CounterStreamHasNoShortCycles) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(seen.insert(hash64(42, i)).second);
+  }
+}
+
+TEST(ToUnitDouble, AlwaysInHalfOpenRange) {
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double u = to_unit_double(hash64(7, i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(to_unit_double(0), 0.0);
+  EXPECT_LT(to_unit_double(~std::uint64_t{0}), 1.0);
+}
+
+TEST(ToUnitFloat, AlwaysInHalfOpenRange) {
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const float u = to_unit_float(hash64(9, i));
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+  EXPECT_LT(to_unit_float(~std::uint64_t{0}), 1.0f);
+}
+
+TEST(ToUnitDouble, MeanIsAboutHalf) {
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    sum += to_unit_double(hash64(13, i));
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(SplitMix64, SameSeedSameStream) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000000007ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(SplitMix64, NextBelowCoversSmallRange) {
+  SplitMix64 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64, NextDoubleInRange) {
+  SplitMix64 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64, SatisfiesUniformRandomBitGenerator) {
+  static_assert(SplitMix64::min() == 0);
+  static_assert(SplitMix64::max() == ~std::uint64_t{0});
+  SplitMix64 rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and run
+  EXPECT_EQ(v.size(), 5u);
+}
+
+}  // namespace
