@@ -1,0 +1,45 @@
+#include "core/checkpoint.hpp"
+
+#include "util/random.hpp"
+
+namespace g500::core {
+
+void CheckpointState::clear() {
+  valid = false;
+  roots_digest = 0;
+  last_bucket = 0;
+  buckets_done = 0;
+  dist.clear();
+  parent.clear();
+  hub_mirror.clear();
+  checksum = 0;
+}
+
+std::uint64_t CheckpointState::compute_checksum() const {
+  std::uint64_t h = util::hash_bytes(dist.data(),
+                                     dist.size() * sizeof(graph::Weight));
+  h = util::hash_bytes(parent.data(),
+                       parent.size() * sizeof(graph::VertexId), h);
+  h = util::hash_bytes(hub_mirror.data(),
+                       hub_mirror.size() * sizeof(graph::Weight), h);
+  h = util::hash64(h, roots_digest);
+  h = util::hash64(h, last_bucket);
+  h = util::hash64(h, buckets_done);
+  return h;
+}
+
+void CheckpointState::seal() {
+  checksum = compute_checksum();
+  valid = true;
+}
+
+void CheckpointState::verify() const {
+  if (!valid) return;
+  if (!checksum_ok()) {
+    throw CheckpointError(
+        "checkpoint: snapshot failed integrity check (bucket " +
+        std::to_string(last_bucket) + ")");
+  }
+}
+
+}  // namespace g500::core

@@ -1,0 +1,73 @@
+// Bucket-epoch checkpointing for the delta-stepping engine.
+//
+// At record scale an SSSP sweep outlives the machine's MTBF, so the engine
+// can snapshot its per-rank state between bucket epochs and, after a crash,
+// restart World::run and re-drain from the last completed epoch instead of
+// from scratch.  Correctness rests on a property of the simulated runtime:
+// faults fire *at* collectives, and simmpi's matched-collective protocol
+// means no rank ever gets a full epoch ahead of a peer — so a snapshot taken
+// after bucket k on one rank is taken after bucket k on every rank, and the
+// set of per-rank snapshots is always a globally consistent cut.
+//
+// The snapshot is everything the engine cannot re-derive: tentative
+// distances, parents and (when hub caching is on) the hub mirror, plus the
+// bucket cursor.  The bucket queue is NOT stored — it is a function of the
+// distances (vertex v is pending iff bucket_of(dist[v]) > last_bucket) and
+// is rebuilt on restore.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::core {
+
+/// Thrown when a snapshot fails its integrity check on restore (bit rot in
+/// "stable storage").  The resilient runner reacts by discarding snapshots
+/// and restarting the root from scratch.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One rank's snapshot of an SSSP run after a completed bucket epoch.
+/// Value type: the retry driver keeps one per rank as its "stable storage".
+struct CheckpointState {
+  bool valid = false;
+
+  /// Identity of the run this snapshot belongs to: a digest of the roots,
+  /// the bucket width and the graph shape.  Restore refuses snapshots from
+  /// a different run.
+  std::uint64_t roots_digest = 0;
+
+  std::uint64_t last_bucket = 0;   ///< highest bucket fully drained
+  std::uint64_t buckets_done = 0;  ///< buckets processed when taken
+
+  std::vector<graph::Weight> dist;
+  std::vector<graph::VertexId> parent;
+  std::vector<graph::Weight> hub_mirror;  ///< empty when hub cache is off
+
+  std::uint64_t checksum = 0;  ///< seal() writes it, verify() checks it
+
+  void clear();
+
+  /// Stamp the snapshot with its checksum and mark it valid.
+  void seal();
+
+  /// Recompute the checksum over the current contents.
+  [[nodiscard]] std::uint64_t compute_checksum() const;
+
+  [[nodiscard]] bool checksum_ok() const {
+    return checksum == compute_checksum();
+  }
+
+  /// Throws CheckpointError if the snapshot is valid but fails its
+  /// integrity check.
+  void verify() const;
+};
+
+}  // namespace g500::core

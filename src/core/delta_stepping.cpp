@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "core/bucket_queue.hpp"
+#include "core/checkpoint.hpp"
 #include "simmpi/hierarchical.hpp"
+#include "util/random.hpp"
 #include "util/timer.hpp"
 
 namespace g500::core {
@@ -32,8 +35,9 @@ class Engine {
  public:
   Engine(simmpi::Comm& comm, const graph::DistGraph& g,
          const std::vector<VertexId>& roots, const SsspConfig& config,
-         SsspStats& stats)
+         SsspStats& stats, CheckpointState* ckpt = nullptr)
       : comm_(comm),
+        ckpt_(ckpt),
         g_(g),
         config_(config),
         stats_(stats),
@@ -56,6 +60,18 @@ class Engine {
         throw std::out_of_range("delta_stepping: root out of range");
       }
     }
+    // Identity of this run for snapshot matching: the roots, the effective
+    // bucket width and the graph shape.  A snapshot from any other run (or
+    // a different partition of the same graph) is refused on restore.
+    roots_digest_ =
+        util::hash_bytes(roots.data(), roots.size() * sizeof(VertexId));
+    std::uint64_t delta_bits = 0;
+    static_assert(sizeof(delta_bits) == sizeof(delta_));
+    std::memcpy(&delta_bits, &delta_, sizeof(delta_bits));
+    roots_digest_ = util::hash64(roots_digest_, delta_bits);
+    roots_digest_ = util::hash64(roots_digest_, g.num_vertices);
+    roots_digest_ = util::hash64(roots_digest_, local_n_);
+
     precompute_splits();
     init_hub_cache();
     // Pull rounds are only safe when EVERY rank that stores edges also has
@@ -77,7 +93,7 @@ class Engine {
 
   SsspResult run() {
     util::Timer total;
-    std::uint64_t k_hint = 0;
+    std::uint64_t k_hint = try_restore();
     while (true) {
       const std::uint64_t k_local = queue_.next_nonempty(k_hint);
       const std::uint64_t k = comm_.allreduce_min(k_local);
@@ -88,9 +104,12 @@ class Engine {
         throw std::runtime_error("delta_stepping: max_buckets exceeded");
       }
       process_bucket(k);
+      maybe_checkpoint(k);
       k_hint = k + 1;
     }
     stats_.total_seconds = total.seconds();
+    // A completed run's snapshot must not leak into the next one.
+    if (ckpt_ != nullptr) ckpt_->clear();
 
     SsspResult result;
     result.dist = std::move(dist_);
@@ -359,12 +378,74 @@ class Engine {
         contribution, [](Weight a, Weight b) { return b < a ? b : a; });
   }
 
+  // -------------------------------------------------------- checkpointing
+
+  /// Resume from the installed snapshot if every rank holds a usable one
+  /// for the same epoch of the same run.  Returns the bucket to resume
+  /// from (0 = fresh start).  Collective: all ranks agree on the outcome.
+  std::uint64_t try_restore() {
+    if (ckpt_ == nullptr) return 0;
+    const bool usable = ckpt_->valid &&
+                        ckpt_->roots_digest == roots_digest_ &&
+                        ckpt_->dist.size() == local_n_ &&
+                        ckpt_->parent.size() == local_n_ &&
+                        ckpt_->hub_mirror.size() == hub_mirror_.size();
+    // All ranks must restore the same epoch or none at all; a token of
+    // kNone marks "no snapshot here".
+    const std::uint64_t token = usable ? ckpt_->last_bucket : BucketQueue::kNone;
+    const std::uint64_t lo = comm_.allreduce_min(token);
+    const std::uint64_t hi = comm_.allreduce_max(token);
+    if (lo != hi || lo == BucketQueue::kNone) {
+      ckpt_->clear();  // stale or partial cut: start fresh everywhere
+      return 0;
+    }
+    ckpt_->verify();  // throws CheckpointError on bit rot
+
+    dist_ = ckpt_->dist;
+    parent_ = ckpt_->parent;
+    hub_mirror_ = ckpt_->hub_mirror;
+    // The queue is a function of the distances: pending vertices are
+    // exactly those whose bucket lies beyond the last drained epoch.
+    // Entries the constructor queued below the cursor go stale harmlessly
+    // (the scan starts past them and never extracts their buckets).
+    for (LocalId v = 0; v < static_cast<LocalId>(local_n_); ++v) {
+      if (dist_[v] == kInfDistance) continue;
+      const std::uint64_t b = bucket_of(dist_[v]);
+      if (b > ckpt_->last_bucket) queue_.update(v, b);
+    }
+    stats_.buckets_processed = ckpt_->buckets_done;
+    ++stats_.restores;
+    return ckpt_->last_bucket + 1;
+  }
+
+  /// Snapshot after bucket `k` when the interval says so.  Purely local —
+  /// every rank reaches the same decision at the same epoch, so the
+  /// per-rank snapshots form a consistent global cut without a collective.
+  void maybe_checkpoint(std::uint64_t k) {
+    if (ckpt_ == nullptr || config_.checkpoint_interval == 0) return;
+    if (++buckets_since_ckpt_ < config_.checkpoint_interval) return;
+    buckets_since_ckpt_ = 0;
+    util::Timer timer;
+    ckpt_->roots_digest = roots_digest_;
+    ckpt_->last_bucket = k;
+    ckpt_->buckets_done = stats_.buckets_processed;
+    ckpt_->dist = dist_;
+    ckpt_->parent = parent_;
+    ckpt_->hub_mirror = hub_mirror_;
+    ckpt_->seal();
+    ++stats_.checkpoints;
+    stats_.checkpoint_seconds += timer.seconds();
+  }
+
   // ------------------------------------------------------------- members
 
   simmpi::Comm& comm_;
+  CheckpointState* ckpt_;
   const graph::DistGraph& g_;
   const SsspConfig& config_;
   SsspStats& stats_;
+  std::uint64_t roots_digest_ = 0;
+  std::uint64_t buckets_since_ckpt_ = 0;
 
   std::size_t local_n_;
   VertexId my_begin_;
@@ -402,6 +483,18 @@ SsspResult delta_stepping_multi(simmpi::Comm& comm, const graph::DistGraph& g,
   SsspStats local_stats;
   Engine engine(comm, g, roots, config,
                 stats != nullptr ? *stats : local_stats);
+  return engine.run();
+}
+
+SsspResult delta_stepping_checkpointed(simmpi::Comm& comm,
+                                       const graph::DistGraph& g,
+                                       VertexId root,
+                                       const SsspConfig& config,
+                                       CheckpointState* ckpt,
+                                       SsspStats* stats) {
+  SsspStats local_stats;
+  Engine engine(comm, g, {root}, config,
+                stats != nullptr ? *stats : local_stats, ckpt);
   return engine.run();
 }
 

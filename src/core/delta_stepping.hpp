@@ -18,6 +18,7 @@
 // DistGraph piece and receives its owned slice of the result.
 #pragma once
 
+#include "core/checkpoint.hpp"
 #include "core/dijkstra.hpp"
 #include "core/sssp_types.hpp"
 #include "graph/builder.hpp"
@@ -41,6 +42,19 @@ namespace g500::core {
 [[nodiscard]] SsspResult delta_stepping_multi(
     simmpi::Comm& comm, const graph::DistGraph& g,
     const std::vector<graph::VertexId>& roots, const SsspConfig& config = {},
+    SsspStats* stats = nullptr);
+
+/// Checkpointed variant of delta_stepping: when `ckpt` is non-null and
+/// config.checkpoint_interval > 0, the engine snapshots its state into
+/// `ckpt` every interval bucket epochs, and — if `ckpt` already holds a
+/// usable snapshot of the *same* run (same root, delta, graph shape, same
+/// epoch on every rank) — resumes from it instead of starting fresh.
+/// Deterministic re-execution makes the resumed result bit-identical to an
+/// uninterrupted run.  A completed run clears `ckpt`.  Throws
+/// CheckpointError if a snapshot fails its integrity check.
+[[nodiscard]] SsspResult delta_stepping_checkpointed(
+    simmpi::Comm& comm, const graph::DistGraph& g, graph::VertexId root,
+    const SsspConfig& config, CheckpointState* ckpt,
     SsspStats* stats = nullptr);
 
 /// The delta the engine would choose for this graph when config.delta <= 0:

@@ -21,7 +21,8 @@ std::vector<VertexId> sample_roots(simmpi::Comm& comm,
                                    const graph::DistGraph& g, int count,
                                    std::uint64_t seed) {
   std::vector<VertexId> roots;
-  if (count <= 0) return roots;
+  // An empty graph has no eligible keys (and no vertex 0 to probe below).
+  if (count <= 0 || g.num_vertices == 0) return roots;
   util::SplitMix64 rng(seed);  // identical stream on every rank
   const std::uint64_t max_attempts =
       100 * static_cast<std::uint64_t>(count) + 1000;
@@ -43,12 +44,12 @@ std::vector<VertexId> sample_roots(simmpi::Comm& comm,
 
 SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   // Counters: element-wise sum.  Histogram: fixed 64-slot projection.
-  std::array<std::uint64_t, 13> counters = {
+  std::array<std::uint64_t, 15> counters = {
       local.buckets_processed, local.light_iterations, local.heavy_phases,
       local.push_rounds,       local.pull_rounds,      local.relax_generated,
       local.relax_sent,        local.relax_received,   local.relax_applied,
       local.fused_local,       local.filtered_hub,     local.filtered_coalesce,
-      local.frontier_broadcast};
+      local.frontier_broadcast, local.checkpoints,     local.restores};
   std::vector<std::uint64_t> payload(counters.begin(), counters.end());
   payload.resize(counters.size() + 64, 0);
   const auto& buckets = local.frontier_hist.buckets();
@@ -75,10 +76,14 @@ SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   total.filtered_hub = summed[10];
   total.filtered_coalesce = summed[11];
   total.frontier_broadcast = summed[12];
+  // Checkpoint decisions are epoch-synchronous, so these are per-rank
+  // duplicates of a global count, like the round counters above.
+  total.checkpoints = summed[13] / P;
+  total.restores = summed[14] / P;
   for (std::size_t i = 0; i < 64; ++i) {
     // Every rank records the same global frontier size per round; undo the
     // P-fold duplication.
-    const std::uint64_t c = summed[13 + i] / P;
+    const std::uint64_t c = summed[15 + i] / P;
     if (c > 0) {
       total.frontier_hist.add(i == 0 ? 0 : (std::uint64_t{1} << i), c);
     }
@@ -87,8 +92,34 @@ SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
       comm.allreduce_max(local.total_seconds);
   total.light_seconds = comm.allreduce_max(local.light_seconds);
   total.heavy_seconds = comm.allreduce_max(local.heavy_seconds);
+  total.checkpoint_seconds = comm.allreduce_max(local.checkpoint_seconds);
   return total;
 }
+
+namespace {
+
+/// Derive the headline numbers from report.runs (shared by both protocols).
+void finalize_summary(BenchmarkReport& report) {
+  if (report.runs.empty()) return;
+  double inv_teps_sum = 0.0;
+  double time_sum = 0.0;
+  for (const RootRun& run : report.runs) {
+    inv_teps_sum += run.teps > 0.0 ? 1.0 / run.teps : 0.0;
+    time_sum += run.seconds;
+  }
+  report.harmonic_mean_teps =
+      inv_teps_sum > 0.0
+          ? static_cast<double>(report.runs.size()) / inv_teps_sum
+          : 0.0;
+  report.mean_seconds = time_sum / static_cast<double>(report.runs.size());
+  auto [lo, hi] = std::minmax_element(
+      report.runs.begin(), report.runs.end(),
+      [](const RootRun& a, const RootRun& b) { return a.seconds < b.seconds; });
+  report.min_seconds = lo->seconds;
+  report.max_seconds = hi->seconds;
+}
+
+}  // namespace
 
 BenchmarkReport run_benchmark(simmpi::Comm& comm, const graph::DistGraph& g,
                               const RunnerOptions& options) {
@@ -101,8 +132,6 @@ BenchmarkReport run_benchmark(simmpi::Comm& comm, const graph::DistGraph& g,
   const std::vector<VertexId> roots =
       sample_roots(comm, g, options.num_roots, options.root_seed);
 
-  double inv_teps_sum = 0.0;
-  double time_sum = 0.0;
   for (const VertexId root : roots) {
     SsspStats local;
     util::Timer timer;
@@ -142,23 +171,147 @@ BenchmarkReport run_benchmark(simmpi::Comm& comm, const graph::DistGraph& g,
       }
     }
     report.stats.merge(global_stats(comm, local));
-    inv_teps_sum += run.teps > 0.0 ? 1.0 / run.teps : 0.0;
-    time_sum += run.seconds;
     report.runs.push_back(run);
   }
 
-  if (!report.runs.empty()) {
-    report.harmonic_mean_teps =
-        inv_teps_sum > 0.0
-            ? static_cast<double>(report.runs.size()) / inv_teps_sum
-            : 0.0;
-    report.mean_seconds = time_sum / static_cast<double>(report.runs.size());
-    auto [lo, hi] = std::minmax_element(
-        report.runs.begin(), report.runs.end(),
-        [](const RootRun& a, const RootRun& b) { return a.seconds < b.seconds; });
-    report.min_seconds = lo->seconds;
-    report.max_seconds = hi->seconds;
+  finalize_summary(report);
+  return report;
+}
+
+BenchmarkReport run_benchmark_resilient(
+    simmpi::World& world,
+    const std::function<graph::DistGraph(simmpi::Comm&)>& build_graph,
+    const RunnerOptions& options) {
+  if (options.algorithm != Algorithm::kDeltaStepping) {
+    throw std::invalid_argument(
+        "run_benchmark_resilient: checkpointing is delta-stepping only");
   }
+  const int P = world.size();
+  const int max_attempts = std::max(1, options.max_attempts);
+
+  // The driver's "stable storage": everything that survives a crashed
+  // World::run.  Rank 0 is the only in-run writer of the shared report
+  // state, and only between collectives, so harvested entries are never
+  // torn (injected crashes fire at collective entry).
+  std::vector<CheckpointState> snapshots(static_cast<std::size_t>(P));
+  BenchmarkReport report;
+  report.num_ranks = P;
+
+  // ---- Phase A: build the graph and agree on the search keys. ---------
+  std::vector<VertexId> roots;
+  bool setup_done = false;
+  for (int attempt = 1; !setup_done; ++attempt) {
+    try {
+      world.run([&](simmpi::Comm& comm) {
+        const graph::DistGraph g = build_graph(comm);
+        const std::vector<VertexId> sampled =
+            sample_roots(comm, g, options.num_roots, options.root_seed);
+        if (comm.rank() == 0) {
+          roots = sampled;
+          report.num_vertices = g.num_vertices;
+          report.num_input_edges = g.num_input_edges;
+          report.num_directed_edges = g.num_directed_edges;
+        }
+      });
+      setup_done = true;
+    } catch (...) {
+      if (attempt >= max_attempts) throw;  // never even built the graph
+      report.backoff_seconds += options.retry_backoff_seconds;
+    }
+  }
+
+  const std::size_t n = roots.size();
+  std::vector<RootRun> results(n);
+  std::vector<std::uint8_t> done(n, 0);
+  std::vector<std::uint8_t> exhausted(n, 0);
+  std::vector<int> failures(n, 0);
+  SsspStats stats_total;
+
+  auto first_undone = [&]() -> std::size_t {
+    std::size_t i = 0;
+    while (i < n && done[i] != 0) ++i;
+    return i;
+  };
+
+  // ---- Phase B: drain the roots, restarting the world after faults. ---
+  while (first_undone() < n) {
+    // Fixed work list for this attempt; rank 0 mutates done/results only
+    // AFTER a root's closing collectives, which every rank has passed, so
+    // intra-run readers of `todo` never race those writes.
+    const std::vector<std::uint8_t> todo(done);
+    bool run_failed = false;
+    try {
+      world.run([&](simmpi::Comm& comm) {
+        const graph::DistGraph g = build_graph(comm);
+        const std::vector<VertexId> sampled =
+            sample_roots(comm, g, options.num_roots, options.root_seed);
+        for (std::size_t i = 0; i < sampled.size(); ++i) {
+          if (todo[i] != 0) continue;  // finished by an earlier attempt
+          SsspStats local;
+          util::Timer timer;
+          const SsspResult result = delta_stepping_checkpointed(
+              comm, g, sampled[i], options.config,
+              &snapshots[static_cast<std::size_t>(comm.rank())], &local);
+          comm.barrier();
+          const double local_seconds = timer.seconds();
+
+          RootRun run;
+          run.root = sampled[i];
+          run.seconds = comm.allreduce_max(local_seconds);
+          run.teps = run.seconds > 0.0
+                         ? static_cast<double>(g.num_input_edges) / run.seconds
+                         : 0.0;
+          if (options.validate) {
+            const auto verdict = validate_sssp(comm, g, sampled[i], result);
+            run.valid = verdict.ok;
+            run.reachable = verdict.reachable;
+          }
+          const SsspStats gstats = global_stats(comm, local);
+          run.recovered = gstats.restores > 0;
+          if (comm.rank() == 0) {
+            results[i] = run;
+            stats_total.merge(gstats);
+            done[i] = 1;
+          }
+        }
+      });
+    } catch (const CheckpointError&) {
+      // Storage bit rot: the snapshots cannot be trusted; the interrupted
+      // root restarts from scratch.
+      for (auto& snapshot : snapshots) snapshot.clear();
+      run_failed = true;
+    } catch (...) {
+      run_failed = true;
+    }
+    if (!run_failed) break;  // every root on the work list completed
+
+    report.backoff_seconds += options.retry_backoff_seconds;
+    const std::size_t victim = first_undone();
+    if (victim >= n) break;  // died after the last root's bookkeeping
+    if (++failures[victim] >= max_attempts) {
+      // Out of budget: degrade to an invalid entry rather than sinking
+      // the whole benchmark, and move on to the remaining roots.
+      RootRun failed;
+      failed.root = roots[victim];
+      failed.valid = false;
+      results[victim] = failed;
+      done[victim] = 1;
+      exhausted[victim] = 1;
+      for (auto& snapshot : snapshots) snapshot.clear();
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // A completed root consumed its failures plus the successful launch;
+    // an abandoned one consumed only the failures.
+    results[i].attempts = failures[i] + (exhausted[i] != 0 ? 0 : 1);
+    report.all_valid = report.all_valid && results[i].valid;
+    if (results[i].valid && results[i].attempts > 1) ++report.recovered_roots;
+    if (!results[i].valid) ++report.failed_roots;
+  }
+  report.runs = std::move(results);
+  report.stats = std::move(stats_total);
+  finalize_summary(report);
   return report;
 }
 
@@ -170,6 +323,10 @@ void BenchmarkReport::print(std::ostream& out) const {
   summary.row().add("directed edges").add(num_directed_edges);
   summary.row().add("roots").add(static_cast<std::uint64_t>(runs.size()));
   summary.row().add("all valid").add(all_valid ? "yes" : "NO");
+  if (recovered_roots > 0 || failed_roots > 0) {
+    summary.row().add("recovered roots").add(recovered_roots);
+    summary.row().add("failed roots").add(failed_roots);
+  }
   summary.row().add("harmonic mean TEPS").add_si(harmonic_mean_teps);
   summary.row().add("mean time (s)").add(mean_seconds, 4);
   summary.row().add("min time (s)").add(min_seconds, 4);

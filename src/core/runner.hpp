@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -30,6 +31,13 @@ struct RunnerOptions {
   bool validate = true;
   Algorithm algorithm = Algorithm::kDeltaStepping;
   SsspConfig config;
+
+  /// Resilient protocol only (run_benchmark_resilient): total attempts a
+  /// root gets before it degrades into an invalid report entry (min 1).
+  int max_attempts = 3;
+  /// Virtual delay charged per retry, mirroring a real machine's restart
+  /// latency.  Recorded in BenchmarkReport::backoff_seconds, not slept.
+  double retry_backoff_seconds = 0.0;
 };
 
 /// Outcome of one root.
@@ -39,6 +47,8 @@ struct RootRun {
   double teps = 0.0;
   bool valid = true;
   std::uint64_t reachable = 0;
+  int attempts = 1;       ///< World::run launches this root consumed
+  bool recovered = false; ///< completed by resuming from a checkpoint
 };
 
 struct BenchmarkReport {
@@ -55,6 +65,13 @@ struct BenchmarkReport {
   double mean_seconds = 0.0;
   double min_seconds = 0.0;
   double max_seconds = 0.0;
+
+  /// Resilient protocol only: roots that needed more than one attempt /
+  /// were abandoned after RunnerOptions::max_attempts.
+  int recovered_roots = 0;
+  int failed_roots = 0;
+  /// Virtual retry backoff charged across all attempts (not slept).
+  double backoff_seconds = 0.0;
 
   /// Graph500-style summary block.
   void print(std::ostream& out) const;
@@ -75,5 +92,19 @@ struct BenchmarkReport {
 /// Sum a per-rank SsspStats across ranks (histogram included).
 [[nodiscard]] SsspStats global_stats(simmpi::Comm& comm,
                                      const SsspStats& local);
+
+/// Fault-tolerant variant of the protocol, driven from OUTSIDE World::run
+/// so it can restart the world after a rank crash.  `build_graph` must be
+/// deterministic — it is re-invoked on every attempt to rebuild each
+/// rank's graph piece.  Roots run with checkpointing
+/// (config.checkpoint_interval); when an attempt dies, the next one
+/// resumes the interrupted root from the per-rank snapshots ("stable
+/// storage" held by this driver) and the finished roots are not re-run.  A
+/// root that still fails after max_attempts degrades into an invalid
+/// report entry instead of sinking the benchmark.  Delta-stepping only.
+[[nodiscard]] BenchmarkReport run_benchmark_resilient(
+    simmpi::World& world,
+    const std::function<graph::DistGraph(simmpi::Comm&)>& build_graph,
+    const RunnerOptions& options);
 
 }  // namespace g500::core

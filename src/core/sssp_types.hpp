@@ -55,6 +55,13 @@ struct SsspConfig {
   /// Safety valve: abort after this many global buckets (0 = unlimited).
   std::uint64_t max_buckets = 0;
 
+  /// Snapshot the engine state every N completed bucket epochs so a crashed
+  /// run can restart from the last checkpoint instead of from scratch
+  /// (0 = checkpointing off).  Only honoured by the checkpointed entry
+  /// point (delta_stepping_checkpointed); the snapshot cost is recorded in
+  /// SsspStats::checkpoint_seconds.
+  std::uint64_t checkpoint_interval = 0;
+
   /// Record a per-bucket execution log in SsspStats::bucket_trace
   /// (bucket index, rounds, frontier mass, wall time) — the time-series
   /// behind the phase-breakdown figure.
@@ -108,9 +115,13 @@ struct SsspStats {
   std::uint64_t filtered_coalesce = 0; ///< dropped by per-round dedup
   std::uint64_t frontier_broadcast = 0;///< vertices shipped by pull rounds
 
+  std::uint64_t checkpoints = 0;       ///< snapshots taken this run
+  std::uint64_t restores = 0;          ///< runs resumed from a snapshot
+
   double total_seconds = 0.0;
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;
+  double checkpoint_seconds = 0.0;     ///< time spent taking snapshots
 
   util::Log2Histogram frontier_hist;   ///< active-set size per inner round
 
@@ -131,9 +142,12 @@ struct SsspStats {
     filtered_hub += other.filtered_hub;
     filtered_coalesce += other.filtered_coalesce;
     frontier_broadcast += other.frontier_broadcast;
+    checkpoints += other.checkpoints;
+    restores += other.restores;
     total_seconds += other.total_seconds;
     light_seconds += other.light_seconds;
     heavy_seconds += other.heavy_seconds;
+    checkpoint_seconds += other.checkpoint_seconds;
     frontier_hist.merge(other.frontier_hist);
   }
 };

@@ -56,6 +56,9 @@ ReplayReport replay_trace(const std::vector<TraceRound>& trace,
             static_cast<double>(round.total_bytes), target_ranks);
         break;
     }
+    // Injected stalls hold the whole round: collectives complete at the
+    // pace of the slowest participant.
+    seconds += round.stall_seconds;
     report.round_seconds.push_back(seconds);
     report.total_seconds += seconds;
     auto& slot = by_kind[round.kind];

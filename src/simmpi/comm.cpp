@@ -10,6 +10,7 @@ void CommStats::merge(const CommStats& other) {
   allgather.merge(other.allgather);
   broadcast.merge(other.broadcast);
   barriers += other.barriers;
+  stall_seconds += other.stall_seconds;
   if (other.bytes_to.size() > bytes_to.size()) {
     bytes_to.resize(other.bytes_to.size(), 0);
   }
@@ -36,9 +37,33 @@ void World::sync() {
 }
 
 void Comm::barrier() {
+  begin_collective(CollectiveKind::kBarrier);
   ++stats_.barriers;
   record(CollectiveKind::kBarrier, 0);
   world_->sync();
+}
+
+void Comm::fail(std::exception_ptr ep) {
+  world_->mark_failed(ep);
+  std::rethrow_exception(ep);
+}
+
+void Comm::begin_collective(CollectiveKind kind) {
+  FaultInjector* const injector = world_->injector_.get();
+  if (injector == nullptr) return;
+  double stall = 0.0;
+  try {
+    stall = injector->on_collective(rank_, kind);
+  } catch (...) {
+    // An injected crash must abort the peers even if user code catches the
+    // InjectedCrashError — the victim never reaches the collective it was
+    // counted for, so its peers would otherwise pair mismatched calls.
+    fail(std::current_exception());
+  }
+  if (stall > 0.0) {
+    stats_.stall_seconds += stall;
+    stall_pending_ += stall;
+  }
 }
 
 void Comm::publish(const void* ptr) {
@@ -52,6 +77,47 @@ const void* Comm::peer(int r) const {
 
 void Comm::release() { world_->sync(); }
 
+void World::mark_failed(std::exception_ptr ep) {
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = ep;
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
+void World::flag_corruption(int src, int dst) {
+  bool expected = false;
+  if (corrupted_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    corrupt_src_.store(src, std::memory_order_release);
+    corrupt_dst_.store(dst, std::memory_order_release);
+  }
+}
+
+void World::throw_if_corrupted() {
+  if (!corrupted_.load(std::memory_order_acquire)) return;
+  const int src = corrupt_src_.load(std::memory_order_acquire);
+  const int dst = corrupt_dst_.load(std::memory_order_acquire);
+  // Every rank of the exchange reaches this point (the flag is set before
+  // the release barrier), so all ranks throw together: fail-stop semantics
+  // with rank-consistent unwind depths.
+  auto ep = std::make_exception_ptr(CorruptionError(
+      "simmpi: alltoallv payload checksum mismatch on link " +
+      std::to_string(src) + " -> " + std::to_string(dst)));
+  mark_failed(ep);
+  std::rethrow_exception(ep);
+}
+
+void World::enable_checksums(bool enabled) {
+  for (auto& comm : comms_) comm->checksums_enabled_ = enabled;
+}
+
+void World::set_fault_plan(FaultPlan plan) {
+  injector_ = std::make_unique<FaultInjector>(std::move(plan), size());
+}
+
+void World::clear_fault_plan() { injector_.reset(); }
+
 void World::run(const std::function<void(Comm&)>& fn) {
   // Fresh barrier each run: a failed previous run leaves dropped
   // participants behind, and normal completion must start from a clean
@@ -59,6 +125,9 @@ void World::run(const std::function<void(Comm&)>& fn) {
   barrier_.emplace(static_cast<std::ptrdiff_t>(comms_.size()));
   failed_.store(false, std::memory_order_release);
   first_error_ = nullptr;
+  corrupted_.store(false, std::memory_order_release);
+  corrupt_src_.store(-1, std::memory_order_release);
+  corrupt_dst_.store(-1, std::memory_order_release);
 
   auto body = [&](Comm& comm) {
     try {
@@ -134,6 +203,8 @@ std::vector<TraceRound> World::merged_trace() const {
       rounds[i].total_bytes += event.bytes;
       rounds[i].max_rank_bytes = std::max(rounds[i].max_rank_bytes,
                                           event.bytes);
+      rounds[i].stall_seconds =
+          std::max(rounds[i].stall_seconds, event.stall_seconds);
     }
   }
   return rounds;

@@ -37,8 +37,10 @@
 #include <type_traits>
 #include <vector>
 
+#include "simmpi/fault.hpp"
 #include "simmpi/stats.hpp"
 #include "simmpi/trace.hpp"
+#include "util/random.hpp"
 
 namespace g500::simmpi {
 
@@ -137,15 +139,33 @@ class Comm {
   /// Signal that this rank is done reading peers' data.
   void release();
 
+  /// Mark the whole world failed with `ep`, then rethrow it.  Collectives
+  /// route argument-validation errors and injected crashes through here so
+  /// peers observe AbortedError at their next sync even if user code
+  /// swallows the exception on the throwing rank — without this, a caught
+  /// error would leave the surviving ranks pairing mismatched collectives.
+  [[noreturn]] void fail(std::exception_ptr ep);
+
+  /// Fault-injection hook at collective entry: consults the installed
+  /// FaultInjector (if any); may throw InjectedCrashError (routed through
+  /// fail) and charges injected stall time to stats / the pending trace
+  /// event.
+  void begin_collective(CollectiveKind kind);
+
   /// Append a trace event if tracing is on.
   void record(CollectiveKind kind, std::uint64_t bytes) {
-    if (trace_enabled_) trace_.push_back(TraceEvent{kind, bytes});
+    if (trace_enabled_) {
+      trace_.push_back(TraceEvent{kind, bytes, stall_pending_});
+    }
+    stall_pending_ = 0.0;
   }
 
   World* world_;
   int rank_;
   CommStats stats_;
   bool trace_enabled_ = false;
+  bool checksums_enabled_ = false;
+  double stall_pending_ = 0.0;
   std::vector<TraceEvent> trace_;
 };
 
@@ -188,6 +208,20 @@ class World {
   /// Start recording per-rank collective traces (cleared by reset_stats).
   void enable_trace(bool enabled = true);
 
+  /// Verify alltoallv payloads end-to-end: the sender attaches a checksum
+  /// per destination, the receiver recomputes after the copy.  A mismatch
+  /// (i.e. injected or real corruption "on the wire") raises
+  /// CorruptionError on every rank of the offending exchange.
+  void enable_checksums(bool enabled = true);
+
+  /// Install a deterministic fault schedule (replacing any existing one).
+  /// The injector's per-rank counters are monotonic across run() calls, so
+  /// a one-shot fault consumed by a failed run does not re-fire on retry.
+  /// Call between runs only.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  [[nodiscard]] FaultInjector* injector() noexcept { return injector_.get(); }
+
   /// Merge the per-rank traces into a machine-wide round log.  Throws
   /// std::logic_error if rank sequences diverge (mismatched collectives).
   [[nodiscard]] std::vector<TraceRound> merged_trace() const;
@@ -199,12 +233,30 @@ class World {
   /// surviving ranks once any rank has failed.
   void sync();
 
+  /// Record `ep` as the run's first error and flip the failed flag (the
+  /// world-abort path shared by the run() wrapper, Comm::fail and the
+  /// corruption rendezvous).
+  void mark_failed(std::exception_ptr ep);
+
+  /// Called by a receiving rank that detected a checksum mismatch on the
+  /// payload src -> dst, before the release barrier; first detector wins.
+  void flag_corruption(int src, int dst);
+
+  /// After the release barrier of a checksummed alltoallv: raise
+  /// CorruptionError on every rank if any link was flagged this round.
+  void throw_if_corrupted();
+
   std::vector<std::unique_ptr<Comm>> comms_;
   std::optional<std::barrier<>> barrier_;  // recreated per run()
   std::vector<const void*> slots_;
   std::atomic<bool> failed_{false};
   std::exception_ptr first_error_;
   std::mutex error_mutex_;
+
+  std::unique_ptr<FaultInjector> injector_;
+  std::atomic<bool> corrupted_{false};
+  std::atomic<int> corrupt_src_{-1};
+  std::atomic<int> corrupt_dst_{-1};
 };
 
 // ---------------------------------------------------------------------------
@@ -221,8 +273,10 @@ std::vector<std::vector<T>> Comm::alltoallv_by_src(
                 "wire data)");
   const int P = size();
   if (static_cast<int>(out.size()) != P) {
-    throw std::invalid_argument("alltoallv: out.size() != world size");
+    fail(std::make_exception_ptr(
+        std::invalid_argument("alltoallv: out.size() != world size")));
   }
+  begin_collective(CollectiveKind::kAlltoallv);
   std::uint64_t call_bytes = 0;
   for (int d = 0; d < P; ++d) {
     if (d == rank_) continue;
@@ -235,13 +289,40 @@ std::vector<std::vector<T>> Comm::alltoallv_by_src(
   ++stats_.alltoallv.calls;
   record(CollectiveKind::kAlltoallv, call_bytes);
 
-  publish(&out);
+  // What goes "on the wire": the payload plus, when checksums are on, one
+  // checksum per destination computed before transmission.
+  struct Published {
+    const std::vector<std::vector<T>>* data;
+    const std::uint64_t* sums;  // per-destination, null when disabled
+  };
+  std::vector<std::uint64_t> sums;
+  if (checksums_enabled_) {
+    sums.resize(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      sums[d] = util::hash_bytes(out[d].data(), out[d].size() * sizeof(T));
+    }
+  }
+  const Published pub{&out, checksums_enabled_ ? sums.data() : nullptr};
+
+  publish(&pub);
   std::vector<std::vector<T>> in(P);
+  FaultInjector* const faults = world_->injector();
   for (int s = 0; s < P; ++s) {
-    const auto& src = *static_cast<const std::vector<std::vector<T>>*>(peer(s));
-    in[s] = src[rank_];  // copy: the source buffer is reused after release()
+    const auto& src = *static_cast<const Published*>(peer(s));
+    in[s] = (*src.data)[rank_];  // copy: source buffer reused after release()
+    if (faults != nullptr && s != rank_) {
+      // Wire damage: after the sender's checksum, before verification.
+      faults->corrupt_payload(rank_, s, in[s].data(),
+                              in[s].size() * sizeof(T));
+    }
+    if (src.sums != nullptr &&
+        util::hash_bytes(in[s].data(), in[s].size() * sizeof(T)) !=
+            src.sums[rank_]) {
+      world_->flag_corruption(s, rank_);
+    }
   }
   release();
+  if (checksums_enabled_) world_->throw_if_corrupted();
   return in;
 }
 
@@ -260,6 +341,7 @@ template <typename T, typename Op>
 T Comm::allreduce(T value, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int P = size();
+  begin_collective(CollectiveKind::kAllreduce);
   stats_.allreduce.bytes += sizeof(T);  // logical: one contribution on the wire
   stats_.allreduce.messages += 1;
   ++stats_.allreduce.calls;
@@ -279,6 +361,7 @@ template <typename T, typename Op>
 std::vector<T> Comm::allreduce_vec(const std::vector<T>& value, Op op) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int P = size();
+  begin_collective(CollectiveKind::kAllreduce);
   stats_.allreduce.bytes += value.size() * sizeof(T);
   stats_.allreduce.messages += 1;
   ++stats_.allreduce.calls;
@@ -290,7 +373,8 @@ std::vector<T> Comm::allreduce_vec(const std::vector<T>& value, Op op) {
     const auto& contrib = *static_cast<const std::vector<T>*>(peer(s));
     if (contrib.size() != result.size()) {
       release();
-      throw std::invalid_argument("allreduce_vec: length mismatch");
+      fail(std::make_exception_ptr(
+          std::invalid_argument("allreduce_vec: length mismatch")));
     }
     for (std::size_t i = 0; i < result.size(); ++i) {
       result[i] = op(result[i], contrib[i]);
@@ -304,6 +388,7 @@ template <typename T>
 std::vector<T> Comm::allgather(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int P = size();
+  begin_collective(CollectiveKind::kAllgather);
   stats_.allgather.bytes += sizeof(T);
   stats_.allgather.messages += 1;
   ++stats_.allgather.calls;
@@ -324,6 +409,7 @@ std::vector<T> Comm::allgatherv(const std::vector<T>& value,
                                 std::vector<std::size_t>* offsets) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int P = size();
+  begin_collective(CollectiveKind::kAllgather);
   stats_.allgather.bytes += value.size() * sizeof(T);
   stats_.allgather.messages += 1;
   ++stats_.allgather.calls;
@@ -353,8 +439,10 @@ template <typename T>
 void Comm::broadcast(T& value, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (root < 0 || root >= size()) {
-    throw std::invalid_argument("broadcast: bad root rank");
+    fail(std::make_exception_ptr(
+        std::invalid_argument("broadcast: bad root rank")));
   }
+  begin_collective(CollectiveKind::kBroadcast);
   if (rank_ == root) {
     stats_.broadcast.bytes += sizeof(T);
     stats_.broadcast.messages += static_cast<std::uint64_t>(size()) - 1;

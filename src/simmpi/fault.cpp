@@ -1,0 +1,124 @@
+#include "simmpi/fault.hpp"
+
+#include "util/random.hpp"
+
+namespace g500::simmpi {
+
+FaultPlan& FaultPlan::crash(int rank, std::uint64_t at_call) {
+  FaultEvent event;
+  event.kind = FaultKind::kCrash;
+  event.rank = rank;
+  event.at_call = at_call;
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(int rank, std::uint64_t at_call, double seconds) {
+  FaultEvent event;
+  event.kind = FaultKind::kStall;
+  event.rank = rank;
+  event.at_call = at_call;
+  event.stall_seconds = seconds;
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(int rank, std::uint64_t at_alltoallv, int src,
+                              std::uint64_t bit) {
+  FaultEvent event;
+  event.kind = FaultKind::kCorrupt;
+  event.rank = rank;
+  event.at_call = at_alltoallv;
+  event.corrupt_src = src;
+  event.corrupt_bit = bit;
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int num_ranks, int crashes,
+                            int corruptions, int stalls,
+                            std::uint64_t horizon) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("FaultPlan::random: num_ranks must be >= 1");
+  }
+  if (horizon < 1) horizon = 1;
+  util::SplitMix64 rng(seed);
+  const auto ranks = static_cast<std::uint64_t>(num_ranks);
+  FaultPlan plan;
+  for (int i = 0; i < crashes; ++i) {
+    plan.crash(static_cast<int>(rng.next_below(ranks)),
+               1 + rng.next_below(horizon));
+  }
+  for (int i = 0; i < corruptions; ++i) {
+    plan.corrupt(static_cast<int>(rng.next_below(ranks)),
+                 1 + rng.next_below(horizon), /*src=*/-1,
+                 rng.next_below(1u << 20));
+  }
+  for (int i = 0; i < stalls; ++i) {
+    plan.stall(static_cast<int>(rng.next_below(ranks)),
+               1 + rng.next_below(horizon),
+               1e-3 * static_cast<double>(1 + rng.next_below(1000)));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int num_ranks)
+    : plan_(std::move(plan)),
+      counters_(static_cast<std::size_t>(num_ranks)),
+      fired_(plan_.events().size(), 0) {}
+
+double FaultInjector::on_collective(int rank, CollectiveKind kind) {
+  RankCounters& mine = counters_[static_cast<std::size_t>(rank)];
+  ++mine.calls;
+  if (kind == CollectiveKind::kAlltoallv) ++mine.alltoallv_calls;
+
+  double stall = 0.0;
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.rank != rank || fired_[i] != 0) continue;
+    if (event.kind == FaultKind::kStall && event.at_call == mine.calls) {
+      fired_[i] = 1;
+      fired_total_.fetch_add(1, std::memory_order_relaxed);
+      stall += event.stall_seconds;
+    }
+  }
+  // Crashes fire after stalls so a stall and a crash planned at the same
+  // call both take effect (the stall is charged, then the rank dies).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.rank != rank || fired_[i] != 0) continue;
+    if (event.kind == FaultKind::kCrash && event.at_call <= mine.calls) {
+      fired_[i] = 1;
+      fired_total_.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedCrashError(rank, mine.calls);
+    }
+  }
+  return stall;
+}
+
+bool FaultInjector::corrupt_payload(int rank, int src, void* data,
+                                    std::size_t bytes) {
+  if (bytes == 0) return false;
+  const RankCounters& mine = counters_[static_cast<std::size_t>(rank)];
+  bool corrupted = false;
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kCorrupt || event.rank != rank ||
+        fired_[i] != 0) {
+      continue;
+    }
+    if (event.at_call != mine.alltoallv_calls) continue;
+    if (event.corrupt_src >= 0 && event.corrupt_src != src) continue;
+    fired_[i] = 1;
+    fired_total_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t bit = event.corrupt_bit % (bytes * 8);
+    static_cast<unsigned char*>(data)[bit / 8] ^=
+        static_cast<unsigned char>(1u << (bit % 8));
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+}  // namespace g500::simmpi

@@ -1,0 +1,157 @@
+// Deterministic fault injection for the simulated runtime.
+//
+// The record run this repo models occupies ~107k nodes for hours; at that
+// scale ranks die, payloads corrupt and nodes stall mid-run, so resilience
+// machinery has to be testable *before* the machine misbehaves.  A
+// FaultPlan is a seeded, reproducible schedule of faults expressed in the
+// only clock every rank shares: its own collective-call sequence.  The
+// World installs the plan (World::set_fault_plan) and every Comm collective
+// consults the injector:
+//
+//   * kCrash   — the victim rank throws InjectedCrashError at the entry of
+//                its n-th collective, before touching the wire.  Peers
+//                unwind with AbortedError through the usual abort path.
+//   * kCorrupt — bits are flipped in an alltoallv payload after the sender
+//                computed its checksum (i.e. "on the wire").  With
+//                World::enable_checksums the receiver detects the damage
+//                and every rank of the exchange raises CorruptionError;
+//                without checksums the corruption is silent, as on a real
+//                machine.
+//   * kStall   — the victim is charged `stall_seconds` of virtual delay at
+//                its n-th collective, recorded in CommStats::stall_seconds
+//                and the trace (model::replay_trace prices it), not slept.
+//
+// Counters are monotonic over the injector's lifetime and events fire once,
+// so a retried World::run naturally proceeds past a consumed fault — the
+// property the checkpoint/restart layer in core/ relies on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simmpi/trace.hpp"
+
+namespace g500::simmpi {
+
+/// Thrown on every rank of an alltoallv whose payload failed checksum
+/// verification.  Distinct from AbortedError: the program did not merely
+/// observe a peer's death, it observed data damage.
+class CorruptionError : public std::runtime_error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown in the victim rank when a planned crash fires.
+class InjectedCrashError : public std::runtime_error {
+ public:
+  InjectedCrashError(int rank, std::uint64_t call_index)
+      : std::runtime_error("simmpi: injected crash of rank " +
+                           std::to_string(rank) + " at its collective #" +
+                           std::to_string(call_index)),
+        rank_(rank),
+        call_index_(call_index) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t call_index() const noexcept {
+    return call_index_;
+  }
+
+ private:
+  int rank_;
+  std::uint64_t call_index_;
+};
+
+enum class FaultKind : std::uint8_t { kCrash, kCorrupt, kStall };
+
+/// One planned fault.  `at_call` is 1-based in the victim's own collective
+/// sequence (kCorrupt counts alltoallv calls only, the only collective that
+/// carries bulk payload).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = 0;
+  std::uint64_t at_call = 1;
+  double stall_seconds = 0.0;   ///< kStall: virtual delay to record
+  int corrupt_src = -1;         ///< kCorrupt: damage payload from this
+                                ///< source (-1 = first non-empty remote)
+  std::uint64_t corrupt_bit = 0;///< kCorrupt: bit to flip (mod payload size)
+};
+
+/// A reproducible schedule of faults: either scripted via the fluent
+/// builders or generated from a seed.  Value type; install a copy per
+/// World.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& crash(int rank, std::uint64_t at_call);
+  FaultPlan& stall(int rank, std::uint64_t at_call, double seconds);
+  FaultPlan& corrupt(int rank, std::uint64_t at_alltoallv, int src = -1,
+                     std::uint64_t bit = 0);
+
+  /// Seeded random schedule: `crashes`/`corruptions`/`stalls` events spread
+  /// uniformly over each victim's first `horizon` collectives.  The same
+  /// (seed, num_ranks, counts, horizon) always yields the same plan.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, int num_ranks,
+                                        int crashes, int corruptions,
+                                        int stalls, std::uint64_t horizon);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Runtime state of an installed plan: per-rank collective counters plus
+/// one-shot latches per event.  Each counter/latch is touched only by its
+/// victim's thread, so no locking is needed beyond the fired total.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int num_ranks);
+
+  /// Hook at the entry of every collective of `rank`.  Returns the stall
+  /// seconds to charge (usually 0); throws InjectedCrashError when the
+  /// plan kills this rank here.
+  double on_collective(int rank, CollectiveKind kind);
+
+  /// Hook on each received alltoallv payload: flips bits in
+  /// [data, data + bytes) if the plan corrupts this (rank, src) here.
+  /// Returns true when the payload was damaged.
+  bool corrupt_payload(int rank, int src, void* data, std::size_t bytes);
+
+  /// Collectives rank `rank` has executed under this injector.
+  [[nodiscard]] std::uint64_t collective_calls(int rank) const {
+    return counters_[static_cast<std::size_t>(rank)].calls;
+  }
+  /// Alltoallv calls rank `rank` has executed under this injector.
+  [[nodiscard]] std::uint64_t alltoallv_calls(int rank) const {
+    return counters_[static_cast<std::size_t>(rank)].alltoallv_calls;
+  }
+  /// Total events that have fired so far.
+  [[nodiscard]] std::uint64_t events_fired() const noexcept {
+    return fired_total_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Padded so concurrent per-rank updates never share a cache line.
+  struct alignas(64) RankCounters {
+    std::uint64_t calls = 0;
+    std::uint64_t alltoallv_calls = 0;
+  };
+
+  FaultPlan plan_;
+  std::vector<RankCounters> counters_;
+  std::vector<std::uint8_t> fired_;  // one latch per plan event
+  std::atomic<std::uint64_t> fired_total_{0};
+};
+
+}  // namespace g500::simmpi

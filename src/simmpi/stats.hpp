@@ -32,6 +32,11 @@ struct CommStats {
   CollectiveStats broadcast;
   std::uint64_t barriers = 0;
 
+  /// Virtual delay charged to this rank by injected stall faults (see
+  /// simmpi/fault.hpp).  Not slept — recorded for the cost model, which
+  /// treats it as slow-node time on the critical path.
+  double stall_seconds = 0.0;
+
   /// bytes_to[d]: payload bytes this rank addressed to rank d (alltoallv
   /// only — the traffic matrix the topology cost model maps onto links).
   std::vector<std::uint64_t> bytes_to;
@@ -44,6 +49,7 @@ struct CommStats {
     allgather = {};
     broadcast = {};
     barriers = 0;
+    stall_seconds = 0.0;
     for (auto& b : bytes_to) b = 0;
   }
 

@@ -41,7 +41,8 @@ enum class CollectiveKind : std::uint8_t {
 /// One rank's record of one collective.
 struct TraceEvent {
   CollectiveKind kind;
-  std::uint64_t bytes;  ///< payload this rank contributed
+  std::uint64_t bytes;         ///< payload this rank contributed
+  double stall_seconds = 0.0;  ///< injected stall charged at this round
 };
 
 /// One merged machine-wide round.
@@ -49,6 +50,7 @@ struct TraceRound {
   CollectiveKind kind;
   std::uint64_t total_bytes = 0;     ///< summed over ranks
   std::uint64_t max_rank_bytes = 0;  ///< busiest contributor
+  double stall_seconds = 0.0;        ///< slowest rank's injected stall
 };
 
 }  // namespace g500::simmpi

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 namespace g500::util {
@@ -37,6 +38,30 @@ constexpr std::uint64_t hash64(std::uint64_t a, std::uint64_t b) noexcept {
 constexpr std::uint64_t hash64(std::uint64_t a, std::uint64_t b,
                                std::uint64_t c) noexcept {
   return hash64(hash64(a, b), c);
+}
+
+/// Checksum a byte range with the same mixing core: fold 8-byte words (and
+/// a zero-padded tail) through hash64, seeded so ranges can be chained
+/// (pass the previous checksum as `seed`).  Length is mixed in, so a
+/// truncated buffer never collides with its prefix.  Used for alltoallv
+/// payload verification and checkpoint integrity.
+inline std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = hash64(seed, size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = hash64(h, w);
+  }
+  if (i < size) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    h = hash64(h, w);
+  }
+  return h;
 }
 
 /// Map a 64-bit hash to a double in [0, 1).  Uses the top 53 bits so the

@@ -1,6 +1,7 @@
 // Tests for the Graph 500 benchmark protocol runner.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <sstream>
 
@@ -66,6 +67,55 @@ TEST(SampleRoots, CapsAtEligibleCount) {
     const DistGraph g = build_distributed(comm, list, 16);
     const auto roots = core::sample_roots(comm, g, 10, 1);
     EXPECT_EQ(roots.size(), 2u);
+  });
+}
+
+TEST(SampleRoots, EmptyGraphYieldsNoRoots) {
+  // The builder refuses zero-vertex graphs, but callers can still hold an
+  // empty DistGraph (default-constructed, or drained by a filter); sampling
+  // must return nothing instead of probing vertex 0 of nothing.
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g;
+    EXPECT_TRUE(core::sample_roots(comm, g, 8, 1).empty());
+  });
+}
+
+TEST(RunBenchmark, EmptyGraphProducesWellFormedEmptyReport) {
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g;
+    core::RunnerOptions opts;
+    opts.num_roots = 8;
+    const auto report = core::run_benchmark(comm, g, opts);
+    EXPECT_TRUE(report.runs.empty());
+    EXPECT_TRUE(report.all_valid);
+    EXPECT_TRUE(std::isfinite(report.harmonic_mean_teps));
+    EXPECT_TRUE(std::isfinite(report.mean_seconds));
+    EXPECT_EQ(report.harmonic_mean_teps, 0.0);
+    EXPECT_EQ(report.mean_seconds, 0.0);
+    if (comm.rank() == 0) {
+      std::ostringstream out;
+      report.print(out);  // must not choke on zero runs
+      EXPECT_NE(out.str().find("all valid"), std::string::npos);
+    }
+  });
+}
+
+TEST(RunBenchmark, AllIsolatedGraphProducesWellFormedEmptyReport) {
+  EdgeList list;
+  list.num_vertices = 16;  // vertices exist, none has an edge
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(comm, list, 16);
+    core::RunnerOptions opts;
+    opts.num_roots = 4;
+    const auto report = core::run_benchmark(comm, g, opts);
+    EXPECT_TRUE(report.runs.empty());
+    EXPECT_TRUE(report.all_valid);
+    EXPECT_TRUE(std::isfinite(report.harmonic_mean_teps));
+    EXPECT_EQ(report.min_seconds, 0.0);
+    EXPECT_EQ(report.max_seconds, 0.0);
   });
 }
 

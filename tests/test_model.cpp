@@ -73,17 +73,20 @@ TEST(Calibration, FromRealMeasuredRun) {
   graph::KroneckerParams params;
   params.scale = 9;
   simmpi::World world(4);
-  core::SsspStats local;
+  core::SsspStats total;
   world.run([&](simmpi::Comm& comm) {
     const graph::DistGraph g = graph::build_kronecker(comm, params);
     comm.barrier();
     // Measure only the SSSP traffic: stats were accumulating during build,
     // so snapshot via World::reset_stats is done outside; here just run.
+    core::SsspStats local;  // per rank — stats are not thread-shareable
     (void)core::delta_stepping(comm, g, 1, core::SsspConfig{}, &local);
+    const auto agg = core::global_stats(comm, local);
+    if (comm.rank() == 0) total = agg;
   });
   const auto agg = world.aggregate_stats();
   const Calibration cal = Calibration::from_run(
-      core::SsspStats{local}, agg, params.num_edges(), 1, params.scale);
+      total, agg, params.num_edges(), 1, params.scale);
   EXPECT_GT(cal.wire_bytes_per_input_edge, 0.0);
   EXPECT_GT(cal.rounds_per_sssp, 0.0);
 }

@@ -220,6 +220,68 @@ TEST(SimMpi, MismatchedVectorLengthsThrow) {
                std::invalid_argument);
 }
 
+TEST(SimMpi, SwallowedValidationErrorStillAbortsPeers) {
+  // Argument-validation errors go through the world-abort path: even if
+  // the offending rank catches the exception and tries to continue, the
+  // world is already failed and every rank (the offender included) unwinds
+  // at its next sync instead of pairing mismatched collectives.
+  simmpi::World world(3);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 if (comm.rank() == 0) {
+                   try {
+                     std::vector<std::vector<int>> too_small(1);
+                     (void)comm.alltoallv(too_small);
+                   } catch (const std::invalid_argument&) {
+                     // Swallow and carry on as if nothing happened.
+                   }
+                 }
+                 comm.barrier();
+                 ADD_FAILURE() << "no rank may pass a poisoned barrier";
+               }),
+               std::invalid_argument);
+}
+
+TEST(SimMpi, AllreduceVecLengthMismatchAbortsWorld) {
+  simmpi::World world(2);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 std::vector<int> mine(comm.rank() == 0 ? 2 : 3, 1);
+                 (void)comm.allreduce_vec<int>(
+                     mine, [](int a, int b) { return a + b; });
+               }),
+               std::invalid_argument);
+  // The mismatch must not poison the next run.
+  world.run([](simmpi::Comm& comm) { EXPECT_EQ(comm.allreduce_sum(1), 2); });
+}
+
+TEST(SimMpi, TwoRanksThrowInTheSameRound) {
+  simmpi::World world(4);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 comm.barrier();
+                 if (comm.rank() == 1 || comm.rank() == 3) {
+                   throw std::runtime_error("concurrent failure");
+                 }
+                 comm.barrier();
+                 ADD_FAILURE() << "survivors must abort, not continue";
+               }),
+               std::runtime_error);
+  world.run([](simmpi::Comm& comm) { EXPECT_EQ(comm.allreduce_sum(1), 4); });
+}
+
+TEST(SimMpi, ThrowWhilePeersAreMidAllgatherv) {
+  // The victim dies before ever publishing; peers are already parked
+  // inside the collective and must unwind instead of deadlocking.
+  simmpi::World world(3);
+  EXPECT_THROW(world.run([](simmpi::Comm& comm) {
+                 if (comm.rank() == 2) {
+                   throw std::runtime_error("died before the exchange");
+                 }
+                 std::vector<int> mine(comm.rank() + 1, comm.rank());
+                 (void)comm.allgatherv(mine);
+               }),
+               std::runtime_error);
+  world.run([](simmpi::Comm& comm) { EXPECT_EQ(comm.allreduce_sum(1), 3); });
+}
+
 TEST(SimMpi, BadBroadcastRootThrows) {
   simmpi::World world(2);
   EXPECT_THROW(world.run([](simmpi::Comm& comm) {
