@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     steps.push_back({"+direction (full)", core::Algorithm::kDeltaStepping, c});
   }
 
+  bench::RunReport report("ablation", options);
   util::Table table({"configuration", "wall (s)", "relax sent", "wire bytes",
                      "rounds", "GTEPS@40", "speedup@40", "valid"});
   double plain_gteps = 0.0;
@@ -62,6 +63,16 @@ int main(int argc, char** argv) {
         .add(at_scale.gteps, 1)
         .add(plain_gteps > 0.0 ? at_scale.gteps / plain_gteps : 0.0, 2)
         .add(m.valid ? "yes" : "NO");
+    util::Json c = util::Json::object();
+    c["configuration"] = step.name;
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["config"] = core::to_json(step.config);
+    c["projection_at_40"] = model::to_json(at_scale);
+    c["speedup_at_40"] =
+        plain_gteps > 0.0 ? at_scale.gteps / plain_gteps : 0.0;
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F3: optimization ablation, Kronecker scale " +
                              std::to_string(scale) + ", " +
@@ -72,5 +83,6 @@ int main(int argc, char** argv) {
                "where the network binds) the optimizations compound into "
                "the paper's\ncumulative speedup.  speedup@40 is relative "
                "to 'delta plain'.\n";
+  bench::write_report(report, table);
   return 0;
 }

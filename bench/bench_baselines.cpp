@@ -21,7 +21,21 @@ struct GraphUnderTest {
   graph::EdgeList list;
 };
 
-void run_graph(util::Table& table, const GraphUnderTest& g, int ranks) {
+void add_case(bench::RunReport& report, const std::string& graph_name,
+              const std::string& algorithm, double seconds,
+              double dijkstra_seconds, std::uint64_t relaxations, bool valid) {
+  util::Json c = util::Json::object();
+  c["graph"] = graph_name;
+  c["algorithm"] = algorithm;
+  c["seconds"] = seconds;
+  c["dijkstra_seconds"] = dijkstra_seconds;
+  c["relax_generated"] = relaxations;
+  c["valid"] = valid;
+  report.add_case(std::move(c));
+}
+
+void run_graph(util::Table& table, bench::RunReport& report,
+               const GraphUnderTest& g, int ranks) {
   // Root: the first vertex that actually has an edge (vertex 0 can be
   // isolated on scrambled Kronecker graphs).
   const graph::VertexId root =
@@ -45,6 +59,8 @@ void run_graph(util::Table& table, const GraphUnderTest& g, int ranks) {
         .add(dijkstra_seconds, 4)
         .add_si(static_cast<double>(stats.relaxations))
         .add("yes");
+    add_case(report, g.name, "seq delta-stepping", stats.seconds,
+             dijkstra_seconds, stats.relaxations, true);
   }
 
   for (const auto algorithm :
@@ -76,14 +92,18 @@ void run_graph(util::Table& table, const GraphUnderTest& g, int ranks) {
         valid = verdict.ok;
       }
     });
+    const std::string algo_name =
+        algorithm == core::Algorithm::kDeltaStepping ? "delta-stepping"
+                                                     : "bellman-ford";
     table.row()
         .add(g.name)
-        .add(algorithm == core::Algorithm::kDeltaStepping ? "delta-stepping"
-                                                          : "bellman-ford")
+        .add(algo_name)
         .add(seconds, 4)
         .add(dijkstra_seconds, 4)
         .add_si(static_cast<double>(relax))
         .add(valid ? "yes" : "NO");
+    add_case(report, g.name, algo_name, seconds, dijkstra_seconds, relax,
+             valid);
   }
 }
 
@@ -103,12 +123,14 @@ int main(int argc, char** argv) {
                     graph::kronecker_graph(params)});
   graphs.push_back({"grid_128x128", graph::grid_graph(128, 128, 5)});
 
+  bench::RunReport report("baselines", options);
   util::Table table({"graph", "algorithm", "time (s)", "dijkstra 1-core (s)",
                      "relax generated", "valid"});
-  for (const auto& g : graphs) run_graph(table, g, ranks);
+  for (const auto& g : graphs) run_graph(table, report, g, ranks);
   table.print(std::cout, "F6: algorithm comparison");
   std::cout << "\nExpected shape: delta-stepping generates less work than "
                "Bellman-Ford on both\ngraphs; the gap is widest on the "
                "large-diameter grid.\n";
+  bench::write_report(report, table);
   return 0;
 }

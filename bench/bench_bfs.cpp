@@ -6,6 +6,7 @@
 // without bottom-up rounds).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/bfs.hpp"
 #include "core/runner.hpp"
 #include "graph/builder.hpp"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(options.get_int("ranks", 8));
   const int max_scale = static_cast<int>(options.get_int("max-scale", 16));
 
+  bench::RunReport report("bfs", options);
   util::Table table({"scale", "mode", "rounds", "bottom-up", "edges scanned",
                      "time (s)", "GTEPS", "valid"});
   for (int scale = 12; scale <= max_scale; scale += 2) {
@@ -60,6 +62,19 @@ int main(int argc, char** argv) {
               .add(seconds, 4)
               .add(static_cast<double>(g.num_input_edges) / seconds / 1e9, 4)
               .add(valid ? "yes" : "NO");
+          util::Json c = util::Json::object();
+          c["scale"] = scale;
+          c["ranks"] = ranks;
+          c["mode"] = direction ? "direction-opt" : "top-down";
+          c["rounds"] = accumulated.rounds / roots.size();
+          c["bottom_up_rounds"] = accumulated.bottom_up_rounds / roots.size();
+          c["edges_scanned"] = static_cast<double>(accumulated.edges_scanned) /
+                               static_cast<double>(roots.size());
+          c["seconds"] = seconds;
+          c["gteps"] =
+              static_cast<double>(g.num_input_edges) / seconds / 1e9;
+          c["valid"] = valid;
+          report.add_case(std::move(c));
         }
       }
     });
@@ -68,5 +83,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: direction-opt rows scan a fraction of the "
                "top-down edges on\npower-law graphs (the Beamer effect) at "
                "equal validity.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -21,6 +21,16 @@ int main(int argc, char** argv) {
   config.collect_bucket_trace = true;
   const auto m = bench::measure_sssp(params, ranks, config, 2);
 
+  bench::RunReport report("breakdown", options);
+  {
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["config"] = core::to_json(config);
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
+  }
+
   util::Table table({"metric", "value"});
   table.row().add("buckets processed").add(m.stats.buckets_processed);
   table.row().add("light inner rounds").add(m.stats.light_iterations);
@@ -62,6 +72,10 @@ int main(int argc, char** argv) {
       core::SsspStats stats;
       (void)core::delta_stepping(comm, g, 1, config, &stats);
       if (comm.rank() == 0) {
+        const util::Json sj = core::to_json(stats);
+        if (sj.contains("bucket_trace")) {
+          report.doc()["bucket_trace_rank0"] = sj.at("bucket_trace");
+        }
         util::Table series({"bucket", "light rounds", "frontier mass",
                             "settled (rank 0)", "time (ms)"});
         // Cap the print at the 24 busiest-to-latest rows for readability.
@@ -84,5 +98,6 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: a few giant-frontier rounds hold most "
                "vertices (pull territory),\na long tail of tiny rounds "
                "(latency territory); light phase dominates heavy.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   }
   rows.push_back({"all (default)", core::SsspConfig{}});
 
+  bench::RunReport report("comm_volume", options);
   util::Table table({"configuration", "wire bytes", "bytes/edge", "messages",
                      "reduction", "coalesce-drop", "hub-drop", "fused"});
   std::uint64_t plain_bytes = 0;
@@ -54,6 +55,20 @@ int main(int argc, char** argv) {
                                        core::Algorithm::kDeltaStepping,
                                        /*validate=*/false);
     if (row.name == "plain") plain_bytes = m.wire_bytes;
+    util::Json c = util::Json::object();
+    c["configuration"] = row.name;
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["config"] = core::to_json(row.config);
+    c["bytes_per_edge"] = static_cast<double>(m.wire_bytes) /
+                          static_cast<double>(params.num_edges());
+    c["reduction_vs_plain"] =
+        plain_bytes > 0
+            ? static_cast<double>(plain_bytes) /
+                  static_cast<double>(std::max<std::uint64_t>(1, m.wire_bytes))
+            : 0.0;
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
     table.row()
         .add(row.name)
         .add_si(static_cast<double>(m.wire_bytes))
@@ -77,5 +92,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: every optimization row beats 'plain'; the "
                "combined row gives the\nlargest reduction factor — this is "
                "what survives onto a 40M-core interconnect.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -20,8 +20,19 @@ int main(int argc, char** argv) {
   graph::KroneckerParams params;
   params.scale = scale;
 
+  bench::RunReport report("delta_sweep", options);
   util::Table table({"delta", "buckets", "light rounds", "relax generated",
                      "time (s)", "valid"});
+  const auto record_case = [&](const std::string& label, double delta,
+                               const bench::Measurement& m) {
+    util::Json c = util::Json::object();
+    c["delta"] = label;
+    if (delta > 0.0) c["delta_value"] = delta;
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
+  };
   for (const double delta :
        {1.0 / 256, 1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2,
         1.0}) {
@@ -37,6 +48,7 @@ int main(int argc, char** argv) {
         .add_si(static_cast<double>(m.stats.relax_generated))
         .add(m.seconds, 4)
         .add(m.valid ? "yes" : "NO");
+    record_case(std::to_string(delta), delta, m);
   }
   // Auto delta last.
   {
@@ -51,11 +63,13 @@ int main(int argc, char** argv) {
         .add_si(static_cast<double>(m.stats.relax_generated))
         .add(m.seconds, 4)
         .add(m.valid ? "yes" : "NO");
+    record_case("auto", 0.0, m);
   }
   table.print(std::cout, "F4: delta sweep, Kronecker scale " +
                              std::to_string(scale));
   std::cout << "\nExpected shape: buckets fall and re-relaxation work rises "
                "as delta grows;\nthe minimum-time delta sits near "
                "1/average-degree (the 'auto' row).\n";
+  bench::write_report(report, table);
   return 0;
 }

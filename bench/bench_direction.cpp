@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const int scale = static_cast<int>(options.get_int("scale", 12));
   const int ranks = static_cast<int>(options.get_int("ranks", 8));
 
+  bench::RunReport report("direction", options);
   util::Table table({"edgefactor", "mode", "pull rounds", "push rounds",
                      "wire bytes", "frontier bcast", "time (s)"});
   for (const int edgefactor : {4, 8, 16, 32, 64}) {
@@ -38,6 +39,13 @@ int main(int argc, char** argv) {
           .add_si(static_cast<double>(m.wire_bytes))
           .add_si(static_cast<double>(m.stats.frontier_broadcast))
           .add(m.seconds, 4);
+      util::Json c = util::Json::object();
+      c["scale"] = scale;
+      c["ranks"] = ranks;
+      c["edgefactor"] = edgefactor;
+      c["mode"] = direction ? "push+pull" : "push only";
+      c["measurement"] = bench::to_json(m);
+      report.add_case(std::move(c));
     }
   }
   table.print(std::cout, "F8: push/pull crossover, Kronecker scale " +
@@ -46,5 +54,6 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: at low edgefactor the engine never pulls "
                "(push is cheaper);\nas density grows, pull rounds appear and "
                "the push+pull rows undercut push-only\nwire bytes.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int roots = static_cast<int>(options.get_int("roots", 8));
   const int max_scale = static_cast<int>(options.get_int("max-scale", 16));
 
+  bench::RunReport run_report("headline", options);
   util::Table table({"scale", "vertices", "input edges", "ranks", "roots",
                      "valid", "hmean TEPS", "mean time (s)"});
   for (int scale = 12; scale <= max_scale; scale += 2) {
@@ -36,10 +37,16 @@ int main(int argc, char** argv) {
             .add(report.all_valid ? "yes" : "NO")
             .add_si(report.harmonic_mean_teps)
             .add(report.mean_seconds, 4);
+        util::Json c = util::Json::object();
+        c["scale"] = scale;
+        c["ranks"] = ranks;
+        c["report"] = core::to_json(report);
+        run_report.add_case(std::move(c));
       }
     });
   }
   table.print(std::cout,
               "T1: Graph500 SSSP official protocol (simulated ranks)");
+  bench::write_report(run_report, table);
   return 0;
 }

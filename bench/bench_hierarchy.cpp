@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   graph::KroneckerParams params;
   params.scale = scale;
 
+  bench::RunReport report("hierarchy", options);
   util::Table table({"exchange", "wire messages", "wire bytes", "msg/round",
                      "rounds", "time (s)", "valid"});
   for (const int group : {0, 2, 4, 8}) {
@@ -36,6 +37,16 @@ int main(int argc, char** argv) {
         .add(m.rounds)
         .add(m.seconds, 4)
         .add(m.valid ? "yes" : "NO");
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["hierarchical_group"] = group;
+    c["exchange"] = group <= 1 ? "flat" : "2-level G=" + std::to_string(group);
+    c["messages_per_round"] =
+        static_cast<double>(m.wire_messages) /
+        static_cast<double>(std::max<std::uint64_t>(1, m.rounds));
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F10: flat vs supernode-aggregated exchange, " +
                              std::to_string(ranks) + " ranks, scale " +
@@ -44,5 +55,6 @@ int main(int argc, char** argv) {
                "grows (O(P^2) -> \nO(P*G + P^2/G^2)) while bytes rise (each "
                "payload crosses the network up to\nthree times) — the trade "
                "that makes 40M-core rounds schedulable.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   graph::KroneckerParams params;
   params.scale = scale;
 
+  bench::RunReport report("hub_sweep", options);
   util::Table table({"hubs", "hub-filtered", "filtered %", "wire bytes",
                      "sync bytes/bucket", "time (s)"});
   for (const std::size_t hubs : {0UL, 4UL, 16UL, 64UL, 256UL, 1024UL}) {
@@ -41,6 +42,16 @@ int main(int argc, char** argv) {
         .add_si(static_cast<double>(hubs) * sizeof(float) *
                 static_cast<double>(ranks))
         .add(m.seconds, 4);
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["hubs"] = static_cast<std::uint64_t>(hubs);
+    c["filtered_percent"] =
+        100.0 * static_cast<double>(m.stats.filtered_hub) / generated;
+    c["sync_bytes_per_bucket"] = static_cast<double>(hubs) * sizeof(float) *
+                                 static_cast<double>(ranks);
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F11: hub cache size sweep, Kronecker scale " +
                              std::to_string(scale) + ", " +
@@ -49,5 +60,6 @@ int main(int argc, char** argv) {
                "the first few hubs and\nsaturates (power-law mass "
                "concentration), while the per-bucket sync cost grows\n"
                "linearly in H — the optimum replicates a tiny prefix.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -5,6 +5,7 @@
 // materialization, the vertex scramble, and the full distributed build.
 #include <benchmark/benchmark.h>
 
+#include "gbench_report.hpp"
 #include "graph/builder.hpp"
 #include "graph/kronecker.hpp"
 #include "simmpi/comm.hpp"
@@ -67,3 +68,7 @@ BENCHMARK(BM_DistributedBuild)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return g500::bench::gbench_main("kronecker", argc, argv);
+}

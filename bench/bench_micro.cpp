@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "gbench_report.hpp"
+
 #include "core/bucket_queue.hpp"
 #include "core/dijkstra.hpp"
 #include "core/sssp_types.hpp"
@@ -125,3 +127,7 @@ BENCHMARK(BM_SequentialDijkstra)->Arg(1 << 12)->Arg(1 << 15)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return g500::bench::gbench_main("micro", argc, argv);
+}

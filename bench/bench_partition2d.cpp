@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/delta_stepping.hpp"
 #include "core/delta_stepping_2d.hpp"
 #include "graph/builder.hpp"
@@ -89,19 +90,31 @@ int main(int argc, char** argv) {
   params.scale = scale;
   const graph::ProcessGrid grid(ranks);
 
+  bench::RunReport report("partition2d", options);
   util::Table table({"layout", "max partners", "messages", "bytes", "rounds",
                      "wall (s)"});
   for (const bool two_d : {false, true}) {
     const Row row = measure(two_d, params, ranks);
+    const std::string layout = two_d ? "2-D " + std::to_string(grid.rows()) +
+                                           "x" + std::to_string(grid.cols())
+                                     : "1-D (paper)";
     table.row()
-        .add(two_d ? "2-D " + std::to_string(grid.rows()) + "x" +
-                         std::to_string(grid.cols())
-                   : "1-D (paper)")
+        .add(layout)
         .add(row.max_partners)
         .add_si(static_cast<double>(row.messages))
         .add_si(static_cast<double>(row.bytes))
         .add(row.rounds)
         .add(row.seconds, 4);
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["layout"] = layout;
+    c["max_partners"] = row.max_partners;
+    c["messages"] = row.messages;
+    c["bytes"] = row.bytes;
+    c["rounds"] = row.rounds;
+    c["seconds"] = row.seconds;
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F12: 1-D vs 2-D partitioning, scale " +
                              std::to_string(scale) + ", " +
@@ -112,5 +125,6 @@ int main(int argc, char** argv) {
             << " for 1-D)\nwhile paying frontier replication in bytes; the "
                "paper's 1-D design instead tames\npartner count with "
                "hub-filtering + hierarchical aggregation.\n";
+  bench::write_report(report, table);
   return 0;
 }

@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   const auto cal = model::Calibration::from_run(
       merged, world.aggregate_stats(), params.num_edges(), runs, cal_scale);
 
+  bench::RunReport report("projection", options);
+  report.doc()["calibration"] = model::to_json(cal);
+
   util::Table cal_table({"calibrated quantity", "value"});
   cal_table.row().add("relaxations / input edge").add(cal.relax_per_input_edge,
                                                       3);
@@ -67,6 +70,10 @@ int main(int argc, char** argv) {
   };
   for (const auto& pt : sweep) {
     const auto p = proj.predict(pt.scale, pt.nodes);
+    util::Json c = util::Json::object();
+    c["machine"] = "new_sunway";
+    c["projection"] = model::to_json(p);
+    report.add_case(std::move(c));
     table.row()
         .add(static_cast<std::uint64_t>(p.nodes))
         .add_si(static_cast<double>(p.cores), 1)
@@ -95,9 +102,14 @@ int main(int argc, char** argv) {
       {model::Machine::fugaku_like(), 158976},
       {model::Machine::commodity_cluster(4096), 4096},
   };
+  util::Json versus_json = util::Json::array();
   for (const auto& c : contenders) {
     const model::Projection contender_proj(c.machine, cal);
     const auto p = contender_proj.predict(43, c.nodes);
+    util::Json vj = util::Json::object();
+    vj["machine"] = model::to_json(c.machine);
+    vj["projection"] = model::to_json(p);
+    versus_json.push_back(std::move(vj));
     versus.row()
         .add(c.machine.name)
         .add(static_cast<std::uint64_t>(p.nodes))
@@ -119,5 +131,8 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: GTEPS grows ~2x per doubling until the "
                "tapered central network\nand round latency flatten the "
                "curve; the full-machine point is communication-bound.\n";
+  report.doc()["contenders"] = std::move(versus_json);
+  report.doc()["headline"] = model::to_json(record);
+  bench::write_report(report, table);
   return 0;
 }

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   base.delta = delta;  // narrow buckets: many epochs, so intervals matter
 
   // ---- Part 1: checkpoint overhead as a function of the interval -------
+  bench::RunReport report("recovery", options);
   const std::uint64_t intervals[] = {0, 1, 2, 4, 8, 16};
   util::Table table({"interval", "seconds", "checkpoints", "ckpt seconds",
                      "overhead", "slowdown"});
@@ -92,6 +93,18 @@ int main(int argc, char** argv) {
         .add(per_root_ckpt_seconds, 4)
         .add(m.seconds > 0.0 ? per_root_ckpt_seconds / m.seconds : 0.0, 4)
         .add(baseline_seconds > 0.0 ? m.seconds / baseline_seconds : 0.0, 3);
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["checkpoint_interval"] = interval;
+    c["seconds"] = m.seconds;
+    c["checkpoint_seconds_per_root"] = per_root_ckpt_seconds;
+    c["overhead"] =
+        m.seconds > 0.0 ? per_root_ckpt_seconds / m.seconds : 0.0;
+    c["slowdown"] =
+        baseline_seconds > 0.0 ? m.seconds / baseline_seconds : 0.0;
+    c["sssp_stats"] = core::to_json(m.stats);
+    report.add_case(std::move(c));
   }
   table.print(std::cout,
               "R1a: checkpoint overhead per SSSP, scale " +
@@ -154,7 +167,8 @@ int main(int argc, char** argv) {
   const std::uint64_t crash_at = build_calls + sweep_calls * 2 / 3;
 
   simmpi::World world(ranks);
-  world.set_fault_plan(simmpi::FaultPlan{}.crash(victim, crash_at));
+  const simmpi::FaultPlan plan = simmpi::FaultPlan{}.crash(victim, crash_at);
+  world.set_fault_plan(plan);
   std::vector<core::CheckpointState> snapshots(
       static_cast<std::size_t>(ranks));
 
@@ -213,5 +227,18 @@ int main(int argc, char** argv) {
                "snapshot and re-drains only\nthe tail of the bucket "
                "schedule, so it runs faster than the clean sweep while\n"
                "producing bit-identical distances.\n";
+
+  util::Json drill_json = util::Json::object();
+  drill_json["root"] = static_cast<std::uint64_t>(root);
+  drill_json["fault_plan"] = simmpi::to_json(plan);
+  drill_json["crash_fired"] = crashed;
+  drill_json["clean_seconds"] = clean_seconds;
+  drill_json["wasted_seconds"] = wasted_seconds;
+  drill_json["recovery_seconds"] = recovery_seconds;
+  drill_json["restores"] = recovery_stats.restores;
+  drill_json["buckets_after_restore"] = recovery_stats.buckets_processed;
+  drill_json["bit_identical"] = !recovered.empty() && recovered == reference;
+  report.doc()["drill"] = std::move(drill_json);
+  bench::write_report(report, table);
   return (!crashed || recovered != reference) ? 1 : 0;
 }

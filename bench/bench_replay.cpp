@@ -4,11 +4,14 @@
 // and replays it on the New Sunway cost model at several machine sizes —
 // the post-mortem attribution of where time would go at scale (alltoallv
 // bandwidth vs allreduce latency), round by round.
+#include <fstream>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "core/delta_stepping.hpp"
 #include "graph/builder.hpp"
 #include "model/replay.hpp"
+#include "model/trace_export.hpp"
 #include "simmpi/comm.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -39,6 +42,12 @@ int main(int argc, char** argv) {
             << " collective rounds for one scale-" << scale << " SSSP on "
             << ranks << " ranks.\n\n";
 
+  bench::RunReport run_report("replay", options);
+  run_report.doc()["recorded_rounds"] =
+      static_cast<std::uint64_t>(trace.size());
+  run_report.doc()["scale"] = scale;
+  run_report.doc()["ranks"] = ranks;
+
   const model::Machine machine = model::Machine::new_sunway();
   for (const std::int64_t nodes : {840LL, 13440LL, 107520LL}) {
     const auto report = model::replay_trace(trace, machine, nodes, 6, ranks);
@@ -46,10 +55,32 @@ int main(int argc, char** argv) {
               << nodes * machine.cores_per_node << " cores) ---\n";
     report.print(std::cout);
     std::cout << '\n';
+    util::Json c = util::Json::object();
+    c["nodes"] = nodes;
+    c["replay"] = model::to_json(report, /*include_rounds=*/false);
+    run_report.add_case(std::move(c));
   }
+
+  // Chrome-trace export of the record-configuration replay: durations are
+  // the modeled per-round costs at 13440 nodes (chrome://tracing/Perfetto).
+  {
+    const auto priced = model::replay_trace(trace, machine, 13440, 6, ranks);
+    const util::Json doc = model::chrome_trace(trace, priced);
+    std::string trace_path = run_report.path();
+    trace_path.replace(trace_path.rfind(".json"), 5, "_trace.json");
+    std::filesystem::create_directories(
+        std::filesystem::path(trace_path).parent_path());
+    std::ofstream out(trace_path);
+    out << doc.dump(2) << '\n';
+    std::cout << "[telemetry] wrote " << trace_path
+              << " (load in chrome://tracing)\n";
+    run_report.doc()["chrome_trace_file"] = trace_path;
+  }
+
   std::cout << "Expected shape: at small node counts the alltoallv "
                "bandwidth term dominates;\nat full machine size the "
                "latency-bound allreduce rounds take over — the\nround-count "
                "wall the paper's bucket fusion attacks.\n";
+  bench::write_report(run_report);
   return 0;
 }

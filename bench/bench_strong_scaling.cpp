@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   graph::KroneckerParams params;
   params.scale = scale;
 
+  bench::RunReport report("strong_scaling", options);
   util::Table table({"ranks", "time (s)", "TEPS", "wire bytes", "rounds",
                      "relax/rank", "valid"});
   double base_relax_per_rank = 0.0;
@@ -37,9 +38,16 @@ int main(int argc, char** argv) {
         .add(m.rounds)
         .add_si(relax_per_rank)
         .add(m.valid ? "yes" : "NO");
+    util::Json c = util::Json::object();
+    c["scale"] = scale;
+    c["ranks"] = ranks;
+    c["relax_per_rank"] = relax_per_rank;
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F1: strong scaling, Kronecker scale " +
                              std::to_string(scale));
+  bench::write_report(report, table);
   std::cout << "\nExpected shape: per-rank work halves as ranks double; "
                "round count stays ~flat;\nwall time on this single-CPU host "
                "saturates (ranks share one core).\n";

@@ -3,26 +3,46 @@
 // Every harness reproduces one table/figure of the (reconstructed)
 // evaluation; see DESIGN.md section 4 for the experiment index and
 // EXPERIMENTS.md for measured results.
+//
+// Besides the console table, every harness writes a machine-readable
+// BENCH_<name>.json run report (see RunReport below and docs/telemetry.md
+// for the schema) so runs can be diffed and regress-gated.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bellman_ford.hpp"
 #include "core/delta_stepping.hpp"
+#include "core/json.hpp"
 #include "core/runner.hpp"
 #include "core/validate.hpp"
 #include "graph/builder.hpp"
+#include "model/json.hpp"
 #include "model/machine.hpp"
 #include "model/projection.hpp"
 #include "net/costmodel.hpp"
 #include "simmpi/comm.hpp"
+#include "simmpi/json.hpp"
+#include "util/buildinfo.hpp"
+#include "util/json.hpp"
+#include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace g500::bench {
+
+/// Bump on breaking changes to the RunReport or Measurement layout
+/// (docs/telemetry.md records the versioning policy).
+constexpr int kRunReportSchemaVersion = 1;
+constexpr int kMeasurementSchemaVersion = 1;
 
 /// Everything one measured SSSP configuration yields.
 struct Measurement {
@@ -34,6 +54,98 @@ struct Measurement {
   std::uint64_t wire_messages = 0;   ///< point-to-point messages implied
   std::uint64_t rounds = 0;          ///< collective rounds of the solve
 };
+
+/// Measurement -> telemetry object (docs/telemetry.md "measurement").
+inline util::Json to_json(const Measurement& m) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kMeasurementSchemaVersion;
+  j["seconds"] = m.seconds;
+  j["teps"] = m.teps;
+  j["valid"] = m.valid;
+  j["wire_bytes"] = m.wire_bytes;
+  j["wire_messages"] = m.wire_messages;
+  j["rounds"] = m.rounds;
+  j["sssp_stats"] = core::to_json(m.stats);
+  return j;
+}
+
+/// One harness invocation's machine-readable report, written as
+/// BENCH_<name>.json next to the console output (or into --report-dir /
+/// $G500_REPORT_DIR).  Usage:
+///
+///   bench::RunReport report("headline", options);
+///   ...
+///   report.add_case(case_json);          // one entry per table row
+///   report.doc()["extra"] = ...;         // harness-specific sections
+///   bench::write_report(report, table);  // finalize + write + announce
+class RunReport {
+ public:
+  RunReport(std::string name, const util::Options& options)
+      : name_(std::move(name)), cases_(util::Json::array()) {
+    doc_ = util::Json::object();
+    doc_["schema_version"] = kRunReportSchemaVersion;
+    doc_["harness"] = name_;
+    doc_["manifest"] = util::run_manifest();
+    util::Json opts = util::Json::object();
+    for (const auto& [key, value] : options.named()) opts[key] = value;
+    doc_["options"] = std::move(opts);
+    dir_ = options.get("report-dir", "");
+    if (dir_.empty()) {
+      const char* env = std::getenv("G500_REPORT_DIR");
+      dir_ = (env != nullptr && *env != '\0') ? env : ".";
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Root object (schema_version/harness/manifest/options pre-filled).
+  [[nodiscard]] util::Json& doc() noexcept { return doc_; }
+
+  /// Append one measured case (typically one console-table row).
+  void add_case(util::Json case_object) {
+    cases_.push_back(std::move(case_object));
+  }
+
+  /// Path this report will be written to.
+  [[nodiscard]] std::string path() const {
+    return dir_ + "/BENCH_" + name_ + ".json";
+  }
+
+  /// Finalize (attach cases and, when given, the console-table echo) and
+  /// write BENCH_<name>.json.  Returns the path written.
+  std::string write(const util::Table* table = nullptr) {
+    doc_["cases"] = std::move(cases_);
+    cases_ = util::Json::array();
+    if (table != nullptr) doc_["table"] = util::to_json(*table);
+    std::filesystem::create_directories(dir_);
+    const std::string file = path();
+    std::ofstream out(file);
+    if (!out) {
+      throw std::runtime_error("RunReport: cannot write " + file);
+    }
+    out << doc_.dump(2) << '\n';
+    return file;
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  util::Json doc_;
+  util::Json cases_;
+};
+
+/// The shared harness epilogue: write the report (with the printed table
+/// echoed into it) and announce the file on the console.
+inline void write_report(RunReport& report, const util::Table* table = nullptr,
+                         std::ostream& out = std::cout) {
+  const std::string file = report.write(table);
+  out << "[telemetry] wrote " << file << "\n";
+}
+
+inline void write_report(RunReport& report, const util::Table& table,
+                         std::ostream& out = std::cout) {
+  write_report(report, &table, out);
+}
 
 /// Build a Kronecker graph on `ranks` simulated ranks and run `roots_count`
 /// SSSPs with `config`, averaging the measurements.
@@ -64,13 +176,21 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
                              s.allreduce.calls + s.broadcast.calls +
                              s.barriers)};
     };
+    // A snapshot itself runs three allreduces; measure that once so each
+    // bracketed delta below can subtract its own bracket's cost.
+    const auto probe0 = snapshot();
+    const auto probe1 = snapshot();
+    const Snap snap_cost{probe1.bytes - probe0.bytes,
+                         probe1.messages - probe0.messages,
+                         probe1.rounds - probe0.rounds};
 
     double seconds = 0.0;
     core::SsspStats merged;
-    const auto before = snapshot();
+    Snap wire{0, 0, 0};
     for (const auto root : roots) {
       core::SsspStats local;
       comm.barrier();
+      const auto before = snapshot();
       util::Timer timer;
       core::SsspResult mine;
       switch (algorithm) {
@@ -87,6 +207,13 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
       comm.barrier();
       seconds += comm.allreduce_max(timer.seconds());
       merged.merge(local);
+      // Snapshot wire counters per root, before validation runs, so the
+      // reported deltas are solve traffic only (validation traffic used to
+      // leak into the totals).
+      const auto after = snapshot();
+      wire.bytes += after.bytes - before.bytes - snap_cost.bytes;
+      wire.messages += after.messages - before.messages - snap_cost.messages;
+      wire.rounds += after.rounds - before.rounds - snap_cost.rounds;
       if (validate) {
         const auto verdict = core::validate_sssp(comm, g, root, mine);
         if (comm.rank() == 0 && !verdict.ok) {
@@ -99,18 +226,14 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
         m.valid = true;
       }
     }
-    // Wire counters must be snapshotted before validation piles on top; the
-    // per-root loop interleaves them, so measure a dedicated stats pass
-    // when validation is off, or accept solve+validate deltas otherwise.
-    const auto after = snapshot();
     const auto total = core::global_stats(comm, merged);
     if (comm.rank() == 0) {
       m.seconds = seconds / static_cast<double>(roots.size());
       m.teps = static_cast<double>(g.num_input_edges) / m.seconds;
       m.stats = total;
-      m.wire_bytes = after.bytes - before.bytes;
-      m.wire_messages = after.messages - before.messages;
-      m.rounds = after.rounds - before.rounds;
+      m.wire_bytes = wire.bytes;
+      m.wire_messages = wire.messages;
+      m.rounds = wire.rounds;
     }
     comm.barrier();
   });

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const int base_scale = static_cast<int>(options.get_int("base-scale", 12));
   const int roots = static_cast<int>(options.get_int("roots", 2));
 
+  bench::RunReport report("weak_scaling", options);
   util::Table table({"ranks", "scale", "input edges", "time (s)", "TEPS",
                      "bytes/edge", "rounds", "valid"});
   for (int doubling = 0; doubling <= 5; ++doubling) {
@@ -34,8 +35,17 @@ int main(int argc, char** argv) {
              3)
         .add(m.rounds)
         .add(m.valid ? "yes" : "NO");
+    util::Json c = util::Json::object();
+    c["scale"] = params.scale;
+    c["ranks"] = ranks;
+    c["input_edges"] = params.num_edges();
+    c["bytes_per_edge"] = static_cast<double>(m.wire_bytes) /
+                          static_cast<double>(params.num_edges());
+    c["measurement"] = bench::to_json(m);
+    report.add_case(std::move(c));
   }
   table.print(std::cout, "F2: weak scaling (scale grows with ranks)");
+  bench::write_report(report, table);
   std::cout << "\nExpected shape: bytes/edge stays bounded (hub+coalesce "
                "filtering), rounds grow\nslowly (~ +1 bucket per scale), so "
                "modeled weak scaling is near-flat.\n";

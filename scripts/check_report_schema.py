@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run reports against the documented schema.
+
+Stdlib-only gate for CI: checks the envelope and manifest keys that
+docs/telemetry.md declares required (the C++ golden-schema tests in
+tests/test_telemetry.cpp are the authoritative check; this catches a
+harness that silently stopped writing conforming reports).
+
+Usage: check_report_schema.py <report-or-dir>...
+Exits non-zero listing every violation.
+"""
+
+import json
+import pathlib
+import sys
+
+ENVELOPE_KEYS = ("schema_version", "harness", "manifest", "options", "cases")
+MANIFEST_KEYS = (
+    "schema_version",
+    "host",
+    "timestamp_utc",
+    "git_describe",
+    "build_type",
+    "compiler",
+    "cxx_standard",
+)
+TRACE_KEYS = ("schema_version", "displayTimeUnit", "traceEvents", "otherData")
+
+
+def check_trace(doc, path, errors):
+    for key in TRACE_KEYS:
+        if key not in doc:
+            errors.append(f"{path}: missing trace key '{key}'")
+    events = doc.get("traceEvents", [])
+    if not isinstance(events, list) or not events:
+        errors.append(f"{path}: traceEvents must be a non-empty array")
+        return
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{path}: traceEvents[{i}] missing '{key}'")
+        if event.get("ph") == "X":
+            for key in ("ts", "dur", "args"):
+                if key not in event:
+                    errors.append(f"{path}: traceEvents[{i}] missing '{key}'")
+
+
+def check_report(doc, path, errors):
+    for key in ENVELOPE_KEYS:
+        if key not in doc:
+            errors.append(f"{path}: missing envelope key '{key}'")
+    if not isinstance(doc.get("schema_version"), int):
+        errors.append(f"{path}: schema_version must be an integer")
+    manifest = doc.get("manifest", {})
+    for key in MANIFEST_KEYS:
+        if key not in manifest:
+            errors.append(f"{path}: manifest missing '{key}'")
+    if not isinstance(doc.get("cases"), list):
+        errors.append(f"{path}: cases must be an array")
+
+
+def check_file(path, errors):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        errors.append(f"{path}: unreadable or invalid JSON ({exc})")
+        return
+    # Chrome traces (BENCH_*_trace.json) use the trace_event layout.
+    if path.name.endswith("_trace.json"):
+        check_trace(doc, path, errors)
+    else:
+        check_report(doc, path, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    if not files:
+        print("error: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        check_file(path, errors)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} report(s), {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,109 @@
+#include "core/json.hpp"
+
+namespace g500::core {
+
+util::Json to_json(const SsspConfig& config) {
+  util::Json j = util::Json::object();
+  j["delta"] = config.delta;
+  j["coalesce"] = config.coalesce;
+  j["hub_cache"] = config.hub_cache;
+  j["direction_opt"] = config.direction_opt;
+  j["pull_threshold"] = config.pull_threshold;
+  j["pull_bias"] = config.pull_bias;
+  j["local_fusion"] = config.local_fusion;
+  j["compress"] = config.compress;
+  j["hierarchical_group"] = config.hierarchical_group;
+  j["max_buckets"] = config.max_buckets;
+  j["checkpoint_interval"] = config.checkpoint_interval;
+  j["collect_bucket_trace"] = config.collect_bucket_trace;
+  return j;
+}
+
+util::Json to_json(const BucketTraceRow& row) {
+  util::Json j = util::Json::object();
+  j["bucket"] = row.bucket;
+  j["light_rounds"] = row.light_rounds;
+  j["frontier_total"] = row.frontier_total;
+  j["settled"] = row.settled;
+  j["seconds"] = row.seconds;
+  return j;
+}
+
+util::Json to_json(const util::Log2Histogram& hist) {
+  util::Json j = util::Json::object();
+  util::Json buckets = util::Json::array();
+  for (const auto b : hist.buckets()) buckets.push_back(b);
+  j["buckets"] = std::move(buckets);
+  j["count"] = hist.total_count();
+  j["sum"] = hist.total_sum();
+  j["max"] = hist.max_value();
+  j["mean"] = hist.mean();
+  return j;
+}
+
+util::Json to_json(const SsspStats& stats) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kSsspStatsSchemaVersion;
+  j["buckets_processed"] = stats.buckets_processed;
+  j["light_iterations"] = stats.light_iterations;
+  j["heavy_phases"] = stats.heavy_phases;
+  j["push_rounds"] = stats.push_rounds;
+  j["pull_rounds"] = stats.pull_rounds;
+  j["relax_generated"] = stats.relax_generated;
+  j["relax_sent"] = stats.relax_sent;
+  j["relax_received"] = stats.relax_received;
+  j["relax_applied"] = stats.relax_applied;
+  j["fused_local"] = stats.fused_local;
+  j["filtered_hub"] = stats.filtered_hub;
+  j["filtered_coalesce"] = stats.filtered_coalesce;
+  j["frontier_broadcast"] = stats.frontier_broadcast;
+  j["checkpoints"] = stats.checkpoints;
+  j["restores"] = stats.restores;
+  j["total_seconds"] = stats.total_seconds;
+  j["light_seconds"] = stats.light_seconds;
+  j["heavy_seconds"] = stats.heavy_seconds;
+  j["checkpoint_seconds"] = stats.checkpoint_seconds;
+  j["frontier_hist"] = to_json(stats.frontier_hist);
+  if (!stats.bucket_trace.empty()) {
+    util::Json trace = util::Json::array();
+    for (const auto& row : stats.bucket_trace) trace.push_back(to_json(row));
+    j["bucket_trace"] = std::move(trace);
+  }
+  return j;
+}
+
+util::Json to_json(const RootRun& run) {
+  util::Json j = util::Json::object();
+  j["root"] = run.root;
+  j["seconds"] = run.seconds;
+  j["teps"] = run.teps;
+  j["valid"] = run.valid;
+  j["reachable"] = run.reachable;
+  j["attempts"] = run.attempts;
+  j["recovered"] = run.recovered;
+  return j;
+}
+
+util::Json to_json(const BenchmarkReport& report) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kBenchmarkReportSchemaVersion;
+  j["num_vertices"] = report.num_vertices;
+  j["num_input_edges"] = report.num_input_edges;
+  j["num_directed_edges"] = report.num_directed_edges;
+  j["num_ranks"] = report.num_ranks;
+  j["all_valid"] = report.all_valid;
+  j["harmonic_mean_teps"] = report.harmonic_mean_teps;
+  j["mean_seconds"] = report.mean_seconds;
+  j["min_seconds"] = report.min_seconds;
+  j["max_seconds"] = report.max_seconds;
+  j["recovered_roots"] = report.recovered_roots;
+  j["failed_roots"] = report.failed_roots;
+  j["backoff_seconds"] = report.backoff_seconds;
+  util::Json runs = util::Json::array();
+  for (const auto& run : report.runs) runs.push_back(to_json(run));
+  j["runs"] = std::move(runs);
+  j["stats"] = to_json(report.stats);
+  return j;
+}
+
+}  // namespace g500::core

@@ -1,0 +1,38 @@
+// JSON serialization of the SSSP engine's config, counters and protocol
+// reports (docs/telemetry.md is the authoritative schema reference).
+//
+// Versioning: bump the constant on any breaking change; added fields are
+// non-breaking.
+#pragma once
+
+#include "core/runner.hpp"
+#include "core/sssp_types.hpp"
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace g500::core {
+
+constexpr int kSsspStatsSchemaVersion = 1;
+constexpr int kBenchmarkReportSchemaVersion = 1;
+
+/// The full knob set (one field per SsspConfig member, same names).
+[[nodiscard]] util::Json to_json(const SsspConfig& config);
+
+/// One per-bucket execution record.
+[[nodiscard]] util::Json to_json(const BucketTraceRow& row);
+
+/// Log2 histogram: {"buckets", "count", "sum", "max", "mean"}.
+[[nodiscard]] util::Json to_json(const util::Log2Histogram& hist);
+
+/// Execution counters of one run, including the checkpoint/recovery
+/// counters and (when collected) the per-bucket trace.
+[[nodiscard]] util::Json to_json(const SsspStats& stats);
+
+/// One root's outcome under the benchmark protocol.
+[[nodiscard]] util::Json to_json(const RootRun& run);
+
+/// Whole-protocol report: graph facts, per-root runs, aggregated stats,
+/// headline numbers, resilience accounting.
+[[nodiscard]] util::Json to_json(const BenchmarkReport& report);
+
+}  // namespace g500::core

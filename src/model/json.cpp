@@ -1,0 +1,69 @@
+#include "model/json.hpp"
+
+#include "simmpi/json.hpp"
+
+namespace g500::model {
+
+util::Json to_json(const Calibration& cal) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kCalibrationSchemaVersion;
+  j["relax_per_input_edge"] = cal.relax_per_input_edge;
+  j["wire_bytes_per_input_edge"] = cal.wire_bytes_per_input_edge;
+  j["rounds_per_sssp"] = cal.rounds_per_sssp;
+  j["calibration_scale"] = cal.calibration_scale;
+  return j;
+}
+
+util::Json to_json(const ProjectionPoint& p) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kProjectionPointSchemaVersion;
+  j["scale"] = p.scale;
+  j["nodes"] = p.nodes;
+  j["cores"] = p.cores;
+  j["input_edges"] = p.input_edges;
+  j["compute_seconds"] = p.compute_seconds;
+  j["network_seconds"] = p.network_seconds;
+  j["latency_seconds"] = p.latency_seconds;
+  j["total_seconds"] = p.total_seconds;
+  j["gteps"] = p.gteps;
+  j["memory_feasible"] = p.memory_feasible;
+  return j;
+}
+
+util::Json to_json(const Machine& machine) {
+  util::Json j = util::Json::object();
+  j["name"] = machine.name;
+  j["num_nodes"] = machine.num_nodes;
+  j["cores_per_node"] = machine.cores_per_node;
+  j["nodes_per_supernode"] = machine.nodes_per_supernode;
+  j["memory_per_node_GB"] = machine.memory_per_node_GB;
+  j["central_taper"] = machine.central_taper;
+  j["core_edge_rate"] = machine.core_edge_rate;
+  return j;
+}
+
+util::Json to_json(const ReplayBreakdown& b) {
+  util::Json j = util::Json::object();
+  j["kind"] = simmpi::to_string(b.kind);
+  j["rounds"] = b.rounds;
+  j["bytes"] = b.bytes;
+  j["seconds"] = b.seconds;
+  return j;
+}
+
+util::Json to_json(const ReplayReport& report, bool include_rounds) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kReplayReportSchemaVersion;
+  j["total_seconds"] = report.total_seconds;
+  util::Json by_kind = util::Json::array();
+  for (const auto& b : report.by_kind) by_kind.push_back(to_json(b));
+  j["by_kind"] = std::move(by_kind);
+  if (include_rounds) {
+    util::Json rounds = util::Json::array();
+    for (const auto s : report.round_seconds) rounds.push_back(s);
+    j["round_seconds"] = std::move(rounds);
+  }
+  return j;
+}
+
+}  // namespace g500::model

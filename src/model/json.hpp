@@ -1,0 +1,33 @@
+// JSON serialization of the projection/replay layer
+// (docs/telemetry.md is the authoritative schema reference).
+#pragma once
+
+#include "model/machine.hpp"
+#include "model/projection.hpp"
+#include "model/replay.hpp"
+#include "util/json.hpp"
+
+namespace g500::model {
+
+constexpr int kCalibrationSchemaVersion = 1;
+constexpr int kProjectionPointSchemaVersion = 1;
+constexpr int kReplayReportSchemaVersion = 1;
+
+/// The measured per-edge/per-round unit costs a projection runs on.
+[[nodiscard]] util::Json to_json(const Calibration& cal);
+
+/// One predicted (scale, nodes) point with its cost split.
+[[nodiscard]] util::Json to_json(const ProjectionPoint& p);
+
+/// The machine description a projection/replay priced against.
+[[nodiscard]] util::Json to_json(const Machine& machine);
+
+/// Per-collective-kind share of a replayed trace.
+[[nodiscard]] util::Json to_json(const ReplayBreakdown& b);
+
+/// Whole replay: total, by-kind breakdown and the per-round timeline.
+/// include_rounds=false drops the O(rounds) timeline array.
+[[nodiscard]] util::Json to_json(const ReplayReport& report,
+                                 bool include_rounds = true);
+
+}  // namespace g500::model

@@ -1,0 +1,99 @@
+#include "model/trace_export.hpp"
+
+#include <stdexcept>
+
+namespace g500::model {
+
+namespace {
+
+/// Stable thread-row id per collective kind (the viewer sorts by tid).
+int kind_tid(simmpi::CollectiveKind kind) {
+  return static_cast<int>(kind) + 1;  // tid 0 reads as "process" in viewers
+}
+
+}  // namespace
+
+util::Json chrome_trace(const std::vector<simmpi::TraceRound>& trace,
+                        const ReplayReport& replay) {
+  if (replay.round_seconds.size() != trace.size()) {
+    throw std::invalid_argument(
+        "chrome_trace: replay has " +
+        std::to_string(replay.round_seconds.size()) + " rounds but trace has " +
+        std::to_string(trace.size()) +
+        " (replay and trace must come from the same recording)");
+  }
+
+  util::Json doc = util::Json::object();
+  doc["schema_version"] = kChromeTraceSchemaVersion;
+  doc["displayTimeUnit"] = "ms";
+
+  util::Json events = util::Json::array();
+
+  // Name the process and one thread row per collective kind (metadata
+  // events, ph "M").
+  {
+    util::Json proc = util::Json::object();
+    proc["name"] = "process_name";
+    proc["ph"] = "M";
+    proc["pid"] = 0;
+    proc["tid"] = 0;
+    util::Json args = util::Json::object();
+    args["name"] = "modeled SSSP collective timeline";
+    proc["args"] = std::move(args);
+    events.push_back(std::move(proc));
+  }
+  for (const auto kind :
+       {simmpi::CollectiveKind::kBarrier, simmpi::CollectiveKind::kAlltoallv,
+        simmpi::CollectiveKind::kAllreduce,
+        simmpi::CollectiveKind::kAllgather,
+        simmpi::CollectiveKind::kBroadcast}) {
+    util::Json thread = util::Json::object();
+    thread["name"] = "thread_name";
+    thread["ph"] = "M";
+    thread["pid"] = 0;
+    thread["tid"] = kind_tid(kind);
+    util::Json args = util::Json::object();
+    args["name"] = simmpi::to_string(kind);
+    thread["args"] = std::move(args);
+    events.push_back(std::move(thread));
+  }
+
+  double now_us = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& round = trace[i];
+    const double dur_us = replay.round_seconds[i] * 1e6;
+    util::Json ev = util::Json::object();
+    ev["name"] = simmpi::to_string(round.kind);
+    ev["cat"] = "collective";
+    ev["ph"] = "X";
+    ev["ts"] = now_us;
+    ev["dur"] = dur_us;
+    ev["pid"] = 0;
+    ev["tid"] = kind_tid(round.kind);
+    util::Json args = util::Json::object();
+    args["round"] = i;
+    args["total_bytes"] = round.total_bytes;
+    args["max_rank_bytes"] = round.max_rank_bytes;
+    args["stall_seconds"] = round.stall_seconds;
+    ev["args"] = std::move(args);
+    events.push_back(std::move(ev));
+    now_us += dur_us;
+  }
+
+  doc["traceEvents"] = std::move(events);
+
+  util::Json other = util::Json::object();
+  other["rounds"] = trace.size();
+  other["modeled_total_seconds"] = replay.total_seconds;
+  doc["otherData"] = std::move(other);
+  return doc;
+}
+
+util::Json chrome_trace(const std::vector<simmpi::TraceRound>& trace,
+                        const Machine& machine, std::int64_t nodes,
+                        int ranks_per_node, int traced_ranks) {
+  return chrome_trace(
+      trace, replay_trace(trace, machine, nodes, ranks_per_node, traced_ranks));
+}
+
+}  // namespace g500::model

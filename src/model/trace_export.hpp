@@ -1,0 +1,42 @@
+// Chrome trace_event export of a merged collective trace.
+//
+// Converts the machine-wide round log (simmpi::World::merged_trace) into
+// the JSON Object Format of the Chrome Trace Event specification, loadable
+// in chrome://tracing and Perfetto.  Durations come from a replay of the
+// trace on a model::Machine (model::replay_trace), so the timeline shows
+// where an SSSP would spend its time on the *target* interconnect — the
+// visual form of the paper's post-mortem round attribution.
+//
+// Layout: every round is one complete ("ph":"X") event on pid 0.  Rounds
+// are laid out on one thread row per collective kind (tid = kind), so the
+// viewer separates alltoallv bandwidth time from allreduce latency time at
+// a glance; "args" carries the round's bytes and injected-stall charge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/replay.hpp"
+#include "simmpi/trace.hpp"
+#include "util/json.hpp"
+
+namespace g500::model {
+
+constexpr int kChromeTraceSchemaVersion = 1;
+
+/// Build the trace_event document for `trace`, with round durations (and
+/// the implied start offsets) taken from `replay`.  Throws
+/// std::invalid_argument if replay.round_seconds does not line up with
+/// the trace (they must come from the same recording).
+[[nodiscard]] util::Json chrome_trace(
+    const std::vector<simmpi::TraceRound>& trace, const ReplayReport& replay);
+
+/// Convenience: replay `trace` on `machine` at (nodes, ranks_per_node,
+/// traced_ranks) and export the priced timeline in one call.
+[[nodiscard]] util::Json chrome_trace(
+    const std::vector<simmpi::TraceRound>& trace, const Machine& machine,
+    std::int64_t nodes, int ranks_per_node, int traced_ranks);
+
+}  // namespace g500::model

@@ -1,0 +1,93 @@
+#include "simmpi/json.hpp"
+
+namespace g500::simmpi {
+
+util::Json to_json(const CollectiveStats& s) {
+  util::Json j = util::Json::object();
+  j["calls"] = s.calls;
+  j["bytes"] = s.bytes;
+  j["messages"] = s.messages;
+  return j;
+}
+
+util::Json to_json(const CommStats& s, bool include_bytes_to) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kCommStatsSchemaVersion;
+  j["alltoallv"] = to_json(s.alltoallv);
+  j["allreduce"] = to_json(s.allreduce);
+  j["allgather"] = to_json(s.allgather);
+  j["broadcast"] = to_json(s.broadcast);
+  j["barriers"] = s.barriers;
+  j["stall_seconds"] = s.stall_seconds;
+  j["total_bytes"] = s.total_bytes();
+  j["total_messages"] = s.total_messages();
+  j["rounds"] = s.rounds();
+  if (include_bytes_to) {
+    util::Json bytes_to = util::Json::array();
+    for (const auto b : s.bytes_to) bytes_to.push_back(b);
+    j["bytes_to"] = std::move(bytes_to);
+  }
+  return j;
+}
+
+util::Json to_json(const TraceRound& r) {
+  util::Json j = util::Json::object();
+  j["kind"] = to_string(r.kind);
+  j["total_bytes"] = r.total_bytes;
+  j["max_rank_bytes"] = r.max_rank_bytes;
+  j["stall_seconds"] = r.stall_seconds;
+  return j;
+}
+
+namespace {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+}  // namespace
+
+util::Json to_json(const FaultEvent& e) {
+  util::Json j = util::Json::object();
+  j["kind"] = to_string(e.kind);
+  j["rank"] = e.rank;
+  j["at_call"] = e.at_call;
+  if (e.kind == FaultKind::kStall) j["stall_seconds"] = e.stall_seconds;
+  if (e.kind == FaultKind::kCorrupt) {
+    j["corrupt_src"] = e.corrupt_src;
+    j["corrupt_bit"] = e.corrupt_bit;
+  }
+  return j;
+}
+
+util::Json to_json(const FaultPlan& plan) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kFaultPlanSchemaVersion;
+  util::Json events = util::Json::array();
+  for (const auto& e : plan.events()) events.push_back(to_json(e));
+  j["events"] = std::move(events);
+  return j;
+}
+
+util::Json to_json(const FaultInjector& injector, int num_ranks) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kFaultPlanSchemaVersion;
+  j["plan"] = to_json(injector.plan());
+  j["events_fired"] = injector.events_fired();
+  util::Json calls = util::Json::array();
+  for (int r = 0; r < num_ranks; ++r) {
+    calls.push_back(injector.collective_calls(r));
+  }
+  j["collective_calls_per_rank"] = std::move(calls);
+  return j;
+}
+
+}  // namespace g500::simmpi

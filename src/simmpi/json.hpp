@@ -1,0 +1,43 @@
+// JSON serialization of the runtime's counter and fault structs
+// (docs/telemetry.md is the authoritative schema reference).
+//
+// Versioning: each top-level object carries a schema_version field; bump
+// the constant on any breaking change (removed/renamed field, changed
+// meaning or unit).  Adding fields is not a breaking change.
+#pragma once
+
+#include "simmpi/fault.hpp"
+#include "simmpi/stats.hpp"
+#include "simmpi/trace.hpp"
+#include "util/json.hpp"
+
+namespace g500::simmpi {
+
+constexpr int kCommStatsSchemaVersion = 1;
+constexpr int kFaultPlanSchemaVersion = 1;
+constexpr int kTraceSchemaVersion = 1;
+
+/// {"calls", "bytes", "messages"} — one collective class.
+[[nodiscard]] util::Json to_json(const CollectiveStats& s);
+
+/// Full communication record: per-collective blocks, barriers,
+/// stall_seconds, derived totals.  include_bytes_to adds the per-
+/// destination traffic vector (omitted by default: O(ranks) per report).
+[[nodiscard]] util::Json to_json(const CommStats& s,
+                                 bool include_bytes_to = false);
+
+/// One merged machine-wide trace round.
+[[nodiscard]] util::Json to_json(const TraceRound& r);
+
+/// One planned fault event.
+[[nodiscard]] util::Json to_json(const FaultEvent& e);
+
+/// The whole schedule, plus schema_version.
+[[nodiscard]] util::Json to_json(const FaultPlan& plan);
+
+/// Outcome of an installed plan: the schedule plus how many events fired
+/// and each rank's collective progress.
+[[nodiscard]] util::Json to_json(const FaultInjector& injector,
+                                 int num_ranks);
+
+}  // namespace g500::simmpi

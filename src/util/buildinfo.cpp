@@ -1,0 +1,67 @@
+#include "util/buildinfo.hpp"
+
+#include <ctime>
+
+#include <unistd.h>
+
+#ifndef G500_GIT_DESCRIBE
+#define G500_GIT_DESCRIBE "unknown"
+#endif
+#ifndef G500_BUILD_TYPE
+#define G500_BUILD_TYPE "unknown"
+#endif
+
+namespace g500::util {
+
+/// Bump when the manifest block changes incompatibly (docs/telemetry.md).
+constexpr int kManifestSchemaVersion = 1;
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_describe = G500_GIT_DESCRIBE;
+    b.build_type = G500_BUILD_TYPE;
+#if defined(__VERSION__) && defined(__clang__)
+    b.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__VERSION__)
+    b.compiler = std::string("gcc ") + __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+    b.cxx_standard = static_cast<int>(__cplusplus / 100 % 100) + 2000;
+    return b;
+  }();
+  return info;
+}
+
+std::string host_name() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  return "unknown";
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Json run_manifest() {
+  const BuildInfo& b = build_info();
+  Json m = Json::object();
+  m["schema_version"] = kManifestSchemaVersion;
+  m["host"] = host_name();
+  m["timestamp_utc"] = utc_timestamp();
+  m["git_describe"] = b.git_describe;
+  m["build_type"] = b.build_type;
+  m["compiler"] = b.compiler;
+  m["cxx_standard"] = b.cxx_standard;
+  return m;
+}
+
+}  // namespace g500::util

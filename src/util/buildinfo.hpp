@@ -1,0 +1,35 @@
+// Run-manifest facts: which build produced a telemetry report, on which
+// host, when.  Every BENCH_*.json embeds this block so two runs can be
+// diffed knowing whether the binary itself changed (docs/telemetry.md).
+//
+// git_describe and build_type are baked in at configure time by
+// src/util/CMakeLists.txt; they read "unknown" in builds outside git.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace g500::util {
+
+struct BuildInfo {
+  std::string git_describe;  ///< `git describe --always --dirty --tags`
+  std::string build_type;    ///< CMAKE_BUILD_TYPE
+  std::string compiler;      ///< compiler identification string
+  int cxx_standard = 0;      ///< __cplusplus, folded to the year
+};
+
+/// The facts baked into this binary.
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Hostname of the machine running now ("unknown" if undeterminable).
+[[nodiscard]] std::string host_name();
+
+/// Current wall-clock time as UTC ISO-8601 ("2026-08-05T12:34:56Z").
+[[nodiscard]] std::string utc_timestamp();
+
+/// The manifest object embedded in every run report: host, timestamp_utc,
+/// git_describe, build_type, compiler, schema_version.
+[[nodiscard]] Json run_manifest();
+
+}  // namespace g500::util

@@ -1,0 +1,137 @@
+// Dependency-free JSON document builder, writer and reader.
+//
+// The telemetry layer (docs/telemetry.md) serializes every run's counters
+// to machine-readable reports, so numbers must survive the trip: doubles
+// are written with the shortest representation that parses back to the
+// identical bit pattern (std::to_chars), integers are kept as integers up
+// to the full 64-bit range, and object keys preserve insertion order so
+// two reports of the same run diff cleanly line-by-line.
+//
+// Policy for non-finite doubles: JSON has no NaN/Infinity, so they are
+// serialized as null (the choice Chrome's trace viewer and most parsers
+// tolerate best).  The parser accepts strict JSON only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace g500::util {
+
+class Json {
+ public:
+  enum class Type {
+    kNull,
+    kBool,
+    kInt,     ///< signed 64-bit integer
+    kUint,    ///< unsigned 64-bit integer above int64 range
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() noexcept : type_(Type::kNull) {}
+  Json(std::nullptr_t) noexcept : type_(Type::kNull) {}
+  Json(bool value) noexcept : type_(Type::kBool), bool_(value) {}
+  Json(int value) noexcept : type_(Type::kInt), int_(value) {}
+  Json(long value) noexcept : type_(Type::kInt), int_(value) {}
+  Json(long long value) noexcept : type_(Type::kInt), int_(value) {}
+  Json(unsigned value) noexcept : Json(static_cast<unsigned long long>(value)) {}
+  Json(unsigned long value) noexcept
+      : Json(static_cast<unsigned long long>(value)) {}
+  Json(unsigned long long value) noexcept;
+  Json(double value) noexcept : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value)
+      : type_(Type::kString), string_(value) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  /// Object access: insert-or-get.  A null value silently becomes an
+  /// object (builder ergonomics); any other type throws std::logic_error.
+  Json& operator[](const std::string& key);
+  /// Checked object lookup; throws std::out_of_range if absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+  /// Object members in insertion order.
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+
+  /// Array access.
+  void push_back(Json value);
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<Json>& elements() const;
+
+  /// Elements of an array, members of an object, 0 otherwise.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Typed reads; throw std::logic_error on a type mismatch.  as_double
+  /// accepts any number; as_int64/as_uint64 accept integers that fit.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Serialize.  indent < 0: compact one-line form; indent >= 0: pretty
+  /// form with that many spaces per level (reports use 2 so they diff).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+  void dump_to(std::ostream& out, int indent = -1) const;
+
+  /// Strict JSON parser; throws std::invalid_argument with a byte offset
+  /// on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escape `s` as the contents of a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Shortest decimal form of `value` that parses back bit-identically;
+/// "null" for NaN/Infinity (the serialization policy of this module).
+[[nodiscard]] std::string json_double(double value);
+
+}  // namespace g500::util

@@ -34,6 +34,13 @@ class Options {
     return positional_;
   }
 
+  /// All parsed --name values (telemetry reports echo these so a run's
+  /// parameterization is recorded next to its results).
+  [[nodiscard]] const std::map<std::string, std::string>& named()
+      const noexcept {
+    return values_;
+  }
+
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
  private:

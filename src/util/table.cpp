@@ -90,4 +90,19 @@ std::string Table::to_string(const std::string& title) const {
   return out.str();
 }
 
+Json to_json(const Table& table) {
+  Json j = Json::object();
+  Json headers = Json::array();
+  for (const auto& h : table.headers()) headers.push_back(h);
+  j["headers"] = std::move(headers);
+  Json rows = Json::array();
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    Json row = Json::array();
+    for (const auto& cell : table.row_cells(i)) row.push_back(cell);
+    rows.push_back(std::move(row));
+  }
+  j["rows"] = std::move(rows);
+  return j;
+}
+
 }  // namespace g500::util

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace g500::util {
 
 class Table {
@@ -31,6 +33,9 @@ class Table {
   [[nodiscard]] const std::vector<std::string>& row_cells(std::size_t i) const {
     return rows_.at(i);
   }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
 
   /// Render with column alignment, header underline, optional title.
   void print(std::ostream& out, const std::string& title = {}) const;
@@ -43,5 +48,10 @@ class Table {
 
 /// Format a double with SI suffix (k/M/G/T) — e.g. 1.5e9 -> "1.50G".
 std::string si_format(double value, int precision = 3);
+
+/// Serialize a table as {"headers": [...], "rows": [[...], ...]} (cells as
+/// the formatted strings the console prints) — the generic echo every
+/// harness report embeds alongside its typed measurements.
+[[nodiscard]] Json to_json(const Table& table);
 
 }  // namespace g500::util

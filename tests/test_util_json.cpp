@@ -1,0 +1,151 @@
+// Unit tests for the dependency-free JSON writer/parser (util/json.hpp):
+// escaping, number formatting (round-trippable doubles, NaN/Inf policy),
+// insertion-order preservation, and parse errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+using g500::util::Json;
+using g500::util::json_double;
+using g500::util::json_escape;
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("\n\t\r\b\f"), "\\n\\t\\r\\b\\f");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonDouble, IntegralValuesKeepDecimalPoint) {
+  EXPECT_EQ(json_double(1.0), "1.0");
+  EXPECT_EQ(json_double(-3.0), "-3.0");
+  EXPECT_EQ(json_double(0.0), "0.0");
+}
+
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonDouble, RoundTripsThroughParse) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-308, -2.5e-7,
+                         123456789.123456789}) {
+    const Json parsed = Json::parse(json_double(v));
+    EXPECT_EQ(parsed.as_double(), v) << json_double(v);
+  }
+}
+
+TEST(JsonValue, NonFiniteDoubleDumpsAsNull) {
+  Json j = Json::object();
+  j["x"] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(j.dump(), "{\"x\":null}");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonValue, OperatorBracketOverwritesInPlace) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = 2;
+  j["a"] = 10;
+  EXPECT_EQ(j.dump(), "{\"a\":10,\"b\":2}");
+}
+
+TEST(JsonValue, Uint64MaxSurvives) {
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  Json j = Json::object();
+  j["n"] = big;
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("n").as_uint64(), big);
+}
+
+TEST(JsonValue, NegativeIntegersSurvive) {
+  Json j = Json::object();
+  j["n"] = std::int64_t{-42};
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("n").as_int64(), -42);
+}
+
+TEST(JsonValue, NestedStructureRoundTrips) {
+  Json j = Json::object();
+  j["name"] = "sssp";
+  j["valid"] = true;
+  j["none"] = Json();
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(3.5);
+  j["mixed"] = std::move(arr);
+  Json inner = Json::object();
+  inner["depth"] = 2;
+  j["inner"] = std::move(inner);
+
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back, j);
+  EXPECT_EQ(back.at("mixed").size(), 3u);
+  EXPECT_EQ(back.at("mixed").at(1).as_string(), "two");
+  EXPECT_EQ(back.at("inner").at("depth").as_int64(), 2);
+}
+
+TEST(JsonValue, PrettyPrintedOutputParsesBack) {
+  Json j = Json::object();
+  j["a"] = 1;
+  Json arr = Json::array();
+  arr.push_back(true);
+  arr.push_back(Json());
+  j["b"] = std::move(arr);
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(JsonParse, HandlesUnicodeEscapes) {
+  const Json j = Json::parse("\"a\\u00e9\\u4e2d\"");
+  EXPECT_EQ(j.as_string(), "a\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse(""), std::invalid_argument);
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(1000, '[');
+  EXPECT_THROW((void)Json::parse(deep), std::invalid_argument);
+}
+
+TEST(JsonValue, NumbersCompareByValueAcrossStorage) {
+  Json a;
+  a = std::int64_t{5};
+  Json b;
+  b = std::uint64_t{5};
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
