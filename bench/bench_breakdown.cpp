@@ -63,6 +63,16 @@ int main(int argc, char** argv) {
 
   std::cout << "\nFrontier size per inner round (log2 buckets):\n"
             << m.stats.frontier_hist.to_string() << "\n";
+  {
+    const auto p = m.stats.frontier_hist.slo_percentiles();
+    std::cout << "frontier-size percentiles (interpolated): p50 " << p[0]
+              << "  p90 " << p[1] << "  p99 " << p[2] << "\n\n";
+    util::Json fq = util::Json::object();
+    fq["p50"] = p[0];
+    fq["p90"] = p[1];
+    fq["p99"] = p[2];
+    report.doc()["frontier_percentiles"] = std::move(fq);
+  }
 
   // Per-bucket time series of the first solve (rank 0's view).
   {

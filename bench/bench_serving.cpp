@@ -1,0 +1,260 @@
+// S1 — Online distance-query serving: micro-batching, caching, SLO.
+//
+// Three questions a serving deployment of the SSSP engine must answer:
+//
+//   (a) What does micro-batching buy?  A warm-cache drain of the same
+//       query set at batch sizes 1..16: batching amortizes the per-batch
+//       answer-extraction exchange (and, cold, dedupes roots into shared
+//       waves), so throughput must rise with the batch size — the run
+//       fails unless batch 8 reaches --min-speedup x batch 1.
+//   (b) What does the root-result cache buy?  The cold sweep (budget 0)
+//       isolates the dedup-only effect; the open-loop run reports the
+//       cache hit rate a Zipf workload sustains.
+//   (c) Does the service hold its SLO under open-loop load?  Poisson
+//       arrivals with Zipf popularity: p50/p90/p99 latency ticks, queue
+//       depth, shed rate, throughput.
+//
+// Everything lands in BENCH_serving.json (schema: docs/serving.md), gated
+// in CI by scripts/check_report_schema.py.
+#include <algorithm>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_util.hpp"
+#include "serve/driver.hpp"
+#include "serve/json.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace g500;
+
+struct SweepRow {
+  std::size_t batch = 0;
+  serve::ServingRunReport run;
+};
+
+/// One service per batch size: prime the cache with every universe root
+/// (counted separately), then measure a drain of `queries` arrivals.
+SweepRow measure_batch(simmpi::Comm& comm, const graph::DistGraph& g,
+                       const serve::ServeConfig& base,
+                       const serve::WorkloadConfig& wl, std::size_t batch,
+                       bool warm) {
+  serve::ServeConfig config = base;
+  config.batch_size = batch;
+  if (!warm) config.cache_budget_bytes = 0;
+  // Drain mode: the whole query set is pending from tick 0, so the queue
+  // must admit it all; latency then measures batching delay only.
+  serve::WorkloadConfig wcfg = wl;
+  wcfg.ticks = 1;
+  wcfg.arrivals_per_tick = static_cast<double>(wl.ticks) * wl.arrivals_per_tick;
+  config.queue_depth = static_cast<std::size_t>(
+      wcfg.arrivals_per_tick * 4.0 + 64.0);
+
+  const serve::Workload workload(wcfg);
+  serve::DistanceService service(comm, g, config);
+  if (warm) {
+    // Prime the cache with one query per universe root; run_workload's
+    // reset_metrics() below excludes the priming cost from the measurement.
+    std::uint64_t id = 0;
+    for (const auto root : wl.roots) {
+      serve::Query q;
+      q.id = id++;
+      q.root = root;
+      q.target = root;
+      (void)service.submit(q);
+    }
+    (void)service.drain(0);
+  }
+  SweepRow row;
+  row.batch = batch;
+  row.run = serve::run_workload(comm, g, config, workload,
+                                /*keep_answers=*/false, &service);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace g500;
+  const util::Options options(argc, argv);
+  const int scale = static_cast<int>(options.get_int("scale", 14));
+  const int ranks = static_cast<int>(options.get_int("ranks", 8));
+  const int universe = static_cast<int>(options.get_int("universe", 32));
+  const std::uint64_t ticks =
+      static_cast<std::uint64_t>(options.get_int("ticks", 64));
+  const double lambda = options.get_double("lambda", 4.0);
+  const double zipf = options.get_double("zipf", 1.2);
+  const double min_speedup = options.get_double("min-speedup", 2.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(options.get_int("seed", 0x5e21));
+
+  graph::KroneckerParams params;
+  params.scale = scale;
+
+  bench::RunReport report("serving", options);
+  util::Table warm_table({"batch", "qps", "speedup", "waves", "fetch rounds",
+                          "hit rate", "p50", "p99"});
+  util::Table cold_table({"batch", "qps", "waves", "waves/query"});
+  const std::size_t batches[] = {1, 2, 4, 8, 16};
+
+  double qps_b1 = 0.0;
+  double qps_b8 = 0.0;
+  double openloop_hit_rate = 0.0;
+  bool ok = true;
+
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const graph::DistGraph g = graph::build_kronecker(comm, params);
+    const auto roots =
+        core::sample_roots(comm, g, universe, seed ^ 0x9500);
+    if (roots.empty()) throw std::runtime_error("no eligible roots");
+
+    serve::WorkloadConfig wl;
+    wl.seed = seed;
+    wl.ticks = ticks;
+    wl.arrivals_per_tick = lambda;
+    wl.zipf_s = zipf;
+    wl.roots = roots;
+    wl.num_vertices = g.num_vertices;
+
+    serve::ServeConfig base;
+    base.max_wait_ticks = 4;
+    // Warm sweep budget: the whole universe fits (widest slice x roots).
+    base.cache_budget_bytes =
+        g.part.count(0) * sizeof(graph::Weight) * (roots.size() + 1);
+
+    // ---- (a) warm batch sweep ---------------------------------------
+    for (const auto b : batches) {
+      const auto row = measure_batch(comm, g, base, wl, b, /*warm=*/true);
+      const auto& m = row.run.metrics;
+      if (comm.rank() == 0) {
+        const double qps = row.run.throughput_qps();
+        if (b == 1) qps_b1 = qps;
+        if (b == 8) qps_b8 = qps;
+        const auto p = m.latency_ticks.slo_percentiles();
+        warm_table.row()
+            .add(static_cast<std::uint64_t>(b))
+            .add(qps, 0)
+            .add(qps_b1 > 0.0 ? qps / qps_b1 : 0.0, 2)
+            .add(m.waves)
+            .add(m.fetch_rounds)
+            .add(m.cache.hit_rate(), 3)
+            .add(p[0], 1)
+            .add(p[2], 1);
+        util::Json c = util::Json::object();
+        c["phase"] = "warm_batch_sweep";
+        c["scale"] = scale;
+        c["ranks"] = ranks;
+        c["batch_size"] = static_cast<std::uint64_t>(b);
+        c["run"] = serve::to_json(row.run);
+        report.add_case(std::move(c));
+      }
+    }
+
+    // ---- (b) cold dedup sweep ---------------------------------------
+    for (const auto b : batches) {
+      const auto row = measure_batch(comm, g, base, wl, b, /*warm=*/false);
+      const auto& m = row.run.metrics;
+      if (comm.rank() == 0) {
+        const double per_query =
+            m.answered == 0 ? 0.0
+                            : static_cast<double>(m.waves) /
+                                  static_cast<double>(m.answered);
+        cold_table.row()
+            .add(static_cast<std::uint64_t>(b))
+            .add(row.run.throughput_qps(), 0)
+            .add(m.waves)
+            .add(per_query, 3);
+        util::Json c = util::Json::object();
+        c["phase"] = "cold_batch_sweep";
+        c["scale"] = scale;
+        c["ranks"] = ranks;
+        c["batch_size"] = static_cast<std::uint64_t>(b);
+        c["run"] = serve::to_json(row.run);
+        report.add_case(std::move(c));
+      }
+    }
+
+    // ---- (c) open-loop SLO run --------------------------------------
+    serve::ServeConfig live = base;
+    live.batch_size = 8;
+    live.queue_depth = 64;
+    live.slo_ticks = 32;
+    live.facilities.assign(roots.begin(),
+                           roots.begin() + std::min<std::size_t>(
+                                               4, roots.size()));
+    serve::WorkloadConfig open = wl;
+    open.nearest_fraction = 0.125;
+    const serve::Workload live_load(open);
+    const auto live_run =
+        serve::run_workload(comm, g, live, live_load);
+    if (comm.rank() == 0) {
+      openloop_hit_rate = live_run.metrics.cache.hit_rate();
+      util::Json serving = util::Json::object();
+      serving["schema_version"] = serve::kServingSchemaVersion;
+      serving["config"] = serve::to_json(live);
+      serving["workload"] = serve::to_json(open);
+      serving["run"] = serve::to_json(live_run);
+      const auto p = live_run.metrics.latency_ticks.slo_percentiles();
+      util::Json latency = util::Json::object();
+      latency["p50"] = p[0];
+      latency["p90"] = p[1];
+      latency["p99"] = p[2];
+      serving["latency_ticks"] = std::move(latency);
+      serving["throughput_qps"] = live_run.throughput_qps();
+      serving["shed"] = live_run.metrics.shed;
+      serving["shed_rate"] =
+          live_run.metrics.arrived == 0
+              ? 0.0
+              : static_cast<double>(live_run.metrics.shed) /
+                    static_cast<double>(live_run.metrics.arrived);
+      serving["cache"] = serve::to_json(live_run.metrics.cache);
+      report.doc()["serving"] = std::move(serving);
+
+      util::Table live_table({"quantity", "value"});
+      live_table.row().add("queries arrived").add(live_run.metrics.arrived);
+      live_table.row().add("answered").add(live_run.metrics.answered);
+      live_table.row().add("shed").add(live_run.metrics.shed);
+      live_table.row().add("waves").add(live_run.metrics.waves);
+      live_table.row()
+          .add("cache hit rate")
+          .add(live_run.metrics.cache.hit_rate(), 3);
+      live_table.row().add("p50 latency (ticks)").add(p[0], 1);
+      live_table.row().add("p90 latency (ticks)").add(p[1], 1);
+      live_table.row().add("p99 latency (ticks)").add(p[2], 1);
+      live_table.row()
+          .add("SLO violations")
+          .add(live_run.metrics.slo_violations);
+      live_table.row().add("throughput (q/s)").add(live_run.throughput_qps(),
+                                                   0);
+      live_table.print(std::cout,
+                       "S1c: open-loop Poisson/Zipf serving, batch 8");
+    }
+  });
+
+  warm_table.print(std::cout, "S1a: warm-cache drain throughput vs batch size"
+                              ", scale " + std::to_string(scale) + ", " +
+                              std::to_string(ranks) + " ranks");
+  std::cout << "\nExpected shape: throughput rises with the batch size — one "
+               "answer-extraction\nexchange (and one queue pass) serves the "
+               "whole batch.\n\n";
+  cold_table.print(std::cout, "S1b: cold (cache off) drain — root dedup only");
+  std::cout << "\nExpected shape: waves/query < 1 once batches exceed 1 — "
+               "Zipf-popular roots\nrepeat within a batch and share one "
+               "wave.\n\n";
+
+  const double speedup = qps_b1 > 0.0 ? qps_b8 / qps_b1 : 0.0;
+  std::cout << "batch-8 vs batch-1 warm throughput: " << speedup
+            << "x (required >= " << min_speedup << "x)\n";
+  std::cout << "open-loop cache hit rate: " << openloop_hit_rate
+            << " (required > 0)\n";
+  ok = speedup >= min_speedup && openloop_hit_rate > 0.0;
+
+  report.doc()["speedup_batch8_vs_batch1"] = speedup;
+  report.doc()["min_speedup"] = min_speedup;
+  report.doc()["acceptance_ok"] = ok;
+  bench::write_report(report, warm_table);
+  return ok ? 0 : 1;
+}

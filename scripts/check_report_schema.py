@@ -25,6 +25,22 @@ MANIFEST_KEYS = (
     "cxx_standard",
 )
 TRACE_KEYS = ("schema_version", "displayTimeUnit", "traceEvents", "otherData")
+# Serving reports (harness == "serving") carry an extra SLO section
+# (docs/serving.md): latency percentiles, throughput, cache and shed
+# counters of the open-loop run.
+SERVING_KEYS = (
+    "schema_version",
+    "config",
+    "workload",
+    "run",
+    "latency_ticks",
+    "throughput_qps",
+    "shed",
+    "shed_rate",
+    "cache",
+)
+SERVING_LATENCY_KEYS = ("p50", "p90", "p99")
+SERVING_CACHE_KEYS = ("hits", "misses", "hit_rate", "evictions")
 
 
 def check_trace(doc, path, errors):
@@ -57,6 +73,26 @@ def check_report(doc, path, errors):
             errors.append(f"{path}: manifest missing '{key}'")
     if not isinstance(doc.get("cases"), list):
         errors.append(f"{path}: cases must be an array")
+    if doc.get("harness") == "serving":
+        check_serving(doc, path, errors)
+
+
+def check_serving(doc, path, errors):
+    serving = doc.get("serving")
+    if not isinstance(serving, dict):
+        errors.append(f"{path}: serving report missing 'serving' section")
+        return
+    for key in SERVING_KEYS:
+        if key not in serving:
+            errors.append(f"{path}: serving section missing '{key}'")
+    latency = serving.get("latency_ticks", {})
+    for key in SERVING_LATENCY_KEYS:
+        if key not in latency:
+            errors.append(f"{path}: serving latency_ticks missing '{key}'")
+    cache = serving.get("cache", {})
+    for key in SERVING_CACHE_KEYS:
+        if key not in cache:
+            errors.append(f"{path}: serving cache missing '{key}'")
 
 
 def check_file(path, errors):

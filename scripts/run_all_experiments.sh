@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerate every experiment (T1-T3, F1-F13 + microbenchmarks) into
-# results/, one file per harness, plus the full test log.
+# Regenerate every experiment (T1-T3, F1-F13, R1 recovery, S1 serving,
+# + microbenchmarks) into results/, one file per harness, plus the full
+# test log.  New bench_* binaries are picked up automatically.
 #
 #   scripts/run_all_experiments.sh [build-dir] [results-dir]
 set -euo pipefail

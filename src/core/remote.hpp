@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "graph/partition.hpp"
@@ -55,6 +56,73 @@ std::vector<T> fetch_values(simmpi::Comm& comm,
 
   // Replies from rank r arrive in the order we asked rank r; walk per-rank
   // cursors to restore the original interleaving.
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(P), 0);
+  std::vector<T> result(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto r = static_cast<std::size_t>(query_rank[i]);
+    result[i] = replies[r].at(cursor[r]++);
+  }
+  return result;
+}
+
+/// One entry of a multi-slot batched fetch: "value of `vertex` in value
+/// set `slot`".  Slots let one exchange answer queries against several
+/// distributed vectors at once (e.g. the distance slices of every root in
+/// a serving micro-batch).
+struct SlotQuery {
+  std::uint32_t slot;
+  graph::VertexId vertex;
+};
+static_assert(std::is_trivially_copyable_v<SlotQuery>);
+
+/// Batched multi-slot variant of fetch_values: for each (slot, vertex)
+/// query return `*slots[slot]` at the owner's local index of `vertex`, in
+/// query order, using a single query/answer exchange for the whole batch.
+///
+/// `slots` holds this rank's owned slice of each logical value set; every
+/// rank must pass the same number of slots in the same logical order
+/// (SPMD), and every rank must call this even with empty queries.
+/// Duplicates and self-owned queries are fine.  Throws std::out_of_range
+/// on a slot index past `slots.size()` and std::logic_error on a
+/// misrouted query or a null slot pointer.
+template <typename T>
+std::vector<T> fetch_values_batched(
+    simmpi::Comm& comm, const graph::BlockPartition& part,
+    const std::vector<SlotQuery>& queries,
+    const std::vector<const std::vector<T>*>& slots) {
+  const int P = comm.size();
+  std::vector<std::vector<SlotQuery>> ask(static_cast<std::size_t>(P));
+  std::vector<int> query_rank(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].slot >= slots.size()) {
+      throw std::out_of_range("fetch_values_batched: slot out of range");
+    }
+    const int owner = part.owner(queries[i].vertex);
+    query_rank[i] = owner;
+    ask[static_cast<std::size_t>(owner)].push_back(queries[i]);
+  }
+
+  const auto incoming = comm.alltoallv_by_src(ask);
+
+  std::vector<std::vector<T>> answers(static_cast<std::size_t>(P));
+  for (int s = 0; s < P; ++s) {
+    answers[static_cast<std::size_t>(s)].reserve(
+        incoming[static_cast<std::size_t>(s)].size());
+    for (const auto q : incoming[static_cast<std::size_t>(s)]) {
+      if (part.owner(q.vertex) != comm.rank()) {
+        throw std::logic_error(
+            "fetch_values_batched: query routed to wrong owner");
+      }
+      if (q.slot >= slots.size() || slots[q.slot] == nullptr) {
+        throw std::logic_error("fetch_values_batched: bad slot on owner");
+      }
+      answers[static_cast<std::size_t>(s)].push_back(
+          slots[q.slot]->at(part.local(q.vertex)));
+    }
+  }
+
+  const auto replies = comm.alltoallv_by_src(answers);
+
   std::vector<std::size_t> cursor(static_cast<std::size_t>(P), 0);
   std::vector<T> result(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {

@@ -1,0 +1,72 @@
+#include "serve/cache.hpp"
+
+namespace g500::serve {
+
+RootCache::RootCache(std::size_t budget_bytes, std::size_t entry_bytes)
+    : capacity_(entry_bytes == 0 ? 0 : budget_bytes / entry_bytes),
+      entry_bytes_(entry_bytes) {
+  stats_.capacity_entries = capacity_;
+}
+
+RootCache::Slice RootCache::lookup(graph::VertexId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->slice;
+}
+
+bool RootCache::contains(graph::VertexId key) const {
+  return index_.find(key) != index_.end();
+}
+
+void RootCache::insert(graph::VertexId key, Slice slice) {
+  if (capacity_ == 0) {
+    ++stats_.rejected;
+    return;
+  }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Replace in place (a re-computed root refreshes its entry).
+    it->second->slice = std::move(slice);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.inserts;
+    return;
+  }
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(slice)});
+  index_[key] = lru_.begin();
+  ++stats_.inserts;
+  stats_.resident_entries = lru_.size();
+  stats_.resident_bytes = lru_.size() * entry_bytes_;
+}
+
+void RootCache::insert(graph::VertexId key, std::vector<graph::Weight> slice) {
+  insert(key, std::make_shared<const std::vector<graph::Weight>>(
+                  std::move(slice)));
+}
+
+void RootCache::clear() {
+  lru_.clear();
+  index_.clear();
+  stats_.resident_entries = 0;
+  stats_.resident_bytes = 0;
+}
+
+void RootCache::reset_counters() {
+  const auto entries = stats_.resident_entries;
+  const auto bytes = stats_.resident_bytes;
+  const auto capacity = stats_.capacity_entries;
+  stats_ = CacheStats{};
+  stats_.resident_entries = entries;
+  stats_.resident_bytes = bytes;
+  stats_.capacity_entries = capacity;
+}
+
+}  // namespace g500::serve

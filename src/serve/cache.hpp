@@ -1,0 +1,93 @@
+// Root-result cache for the distance-query service.
+//
+// A wave for root r leaves each rank holding its owned slice of r's
+// distance vector; caching that slice answers later queries on the same
+// root with a value fetch instead of a recomputation.  Popular roots
+// (Zipf-shaped workloads) make this the service's main throughput lever.
+//
+// SPMD discipline: a cache miss triggers a collective delta-stepping
+// wave, so residency decisions MUST be identical on every rank or the
+// ranks deadlock on mismatched collectives.  The cache therefore charges
+// every entry the same rank-independent cost (the widest owned slice in
+// the partition, passed at construction) instead of the rank's actual
+// slice size, and evicts purely by LRU order — both are pure functions of
+// the call sequence, which the scheduler keeps identical across ranks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::serve {
+
+/// Cache occupancy and effectiveness counters (per rank; identical across
+/// ranks by the SPMD discipline above except nothing here is rank-local).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;   ///< inserts refused because capacity is 0
+  std::size_t resident_entries = 0;
+  std::size_t resident_bytes = 0;  ///< charged, not actual, bytes
+  std::size_t capacity_entries = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// LRU cache: root id -> shared owned distance slice.  Entries are handed
+/// out as shared_ptr so an extraction in flight survives the eviction of
+/// its entry by a later insert in the same batch.
+class RootCache {
+ public:
+  using Slice = std::shared_ptr<const std::vector<graph::Weight>>;
+
+  /// `budget_bytes` is the per-rank memory budget; `entry_bytes` the
+  /// rank-independent charge per entry (use the widest owned slice:
+  /// part.count(0) * sizeof(Weight)).  capacity = budget / entry charge.
+  RootCache(std::size_t budget_bytes, std::size_t entry_bytes);
+
+  /// Lookup that counts a hit or miss and refreshes LRU order on hit.
+  [[nodiscard]] Slice lookup(graph::VertexId key);
+
+  /// Lookup without touching LRU order or the counters.
+  [[nodiscard]] bool contains(graph::VertexId key) const;
+
+  /// Insert (or replace) the slice for `key`, evicting least-recently-used
+  /// entries until the charged footprint fits the budget.  With capacity
+  /// 0 the insert is refused (counted in stats().rejected).  Shared
+  /// ownership: callers may keep their reference across later evictions.
+  void insert(graph::VertexId key, Slice slice);
+  void insert(graph::VertexId key, std::vector<graph::Weight> slice);
+
+  void clear();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  /// Zero the effectiveness counters, keeping residency (warm restarts).
+  void reset_counters();
+
+ private:
+  struct Entry {
+    graph::VertexId key;
+    Slice slice;
+  };
+
+  std::size_t capacity_;  ///< max resident entries
+  std::size_t entry_bytes_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<graph::VertexId, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace g500::serve

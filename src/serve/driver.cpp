@@ -1,0 +1,44 @@
+#include "serve/driver.hpp"
+
+#include <optional>
+
+#include "util/timer.hpp"
+
+namespace g500::serve {
+
+ServingRunReport run_workload(simmpi::Comm& comm, const graph::DistGraph& g,
+                              const ServeConfig& config,
+                              const Workload& workload, bool keep_answers,
+                              DistanceService* service) {
+  std::optional<DistanceService> own;
+  if (service == nullptr) {
+    own.emplace(comm, g, config);
+    service = &*own;
+  } else {
+    service->reset_metrics();
+  }
+
+  ServingRunReport report;
+  comm.barrier();
+  util::Timer timer;
+  const std::uint64_t horizon = workload.config().ticks;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    for (const auto& q : workload.arrivals(t)) (void)service->submit(q);
+    auto answers = service->tick(t);
+    if (keep_answers) {
+      report.answers.insert(report.answers.end(), answers.begin(),
+                            answers.end());
+    }
+  }
+  std::uint64_t end_tick = horizon;
+  auto tail = service->drain(horizon, &end_tick);
+  if (keep_answers) {
+    report.answers.insert(report.answers.end(), tail.begin(), tail.end());
+  }
+  report.wall_seconds = comm.allreduce_max(timer.seconds());
+  report.ticks_run = end_tick;
+  report.metrics = service->metrics();
+  return report;
+}
+
+}  // namespace g500::serve

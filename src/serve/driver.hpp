@@ -1,0 +1,42 @@
+// Open-loop workload driver: feed a deterministic serve::Workload through
+// a DistanceService tick by tick, then drain, and collect the SLO report
+// a serving benchmark needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::serve {
+
+/// Outcome of one workload run on one rank.  Counters and answers are
+/// identical across ranks; wall_seconds is the max over ranks (agreed via
+/// allreduce at the end of the run).
+struct ServingRunReport {
+  ServiceMetrics metrics;
+  std::vector<Answer> answers;  ///< kept only when requested
+  std::uint64_t ticks_run = 0;  ///< arrival horizon plus the drain tail
+  double wall_seconds = 0.0;    ///< serving loop only (graph build excluded)
+
+  [[nodiscard]] double throughput_qps() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(metrics.answered) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Run `workload` through a fresh service built from `config`.  SPMD:
+/// call from every rank.  When `service` is non-null it is used instead
+/// of a fresh one (warm-cache runs); its metrics are reset first.
+[[nodiscard]] ServingRunReport run_workload(simmpi::Comm& comm,
+                                            const graph::DistGraph& g,
+                                            const ServeConfig& config,
+                                            const Workload& workload,
+                                            bool keep_answers = false,
+                                            DistanceService* service = nullptr);
+
+}  // namespace g500::serve

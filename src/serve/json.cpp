@@ -1,0 +1,103 @@
+#include "serve/json.hpp"
+
+#include "core/json.hpp"  // core::to_json(Log2Histogram)
+
+namespace g500::serve {
+
+namespace {
+
+/// Histogram + its interpolated SLO percentiles in one block.
+util::Json hist_with_percentiles(const util::Log2Histogram& h) {
+  util::Json j = core::to_json(h);
+  const auto p = h.slo_percentiles();
+  j["p50"] = p[0];
+  j["p90"] = p[1];
+  j["p99"] = p[2];
+  return j;
+}
+
+}  // namespace
+
+util::Json to_json(const ServeConfig& config) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kServingSchemaVersion;
+  j["queue_depth"] = static_cast<std::uint64_t>(config.queue_depth);
+  j["batch_size"] = static_cast<std::uint64_t>(config.batch_size);
+  j["max_wait_ticks"] = config.max_wait_ticks;
+  j["shed_policy"] = config.shed_policy == ShedPolicy::kRejectNew
+                         ? "reject_new"
+                         : "drop_oldest";
+  j["slo_ticks"] = config.slo_ticks;
+  j["cache_budget_bytes"] =
+      static_cast<std::uint64_t>(config.cache_budget_bytes);
+  util::Json facilities = util::Json::array();
+  for (const auto f : config.facilities) facilities.push_back(f);
+  j["facilities"] = std::move(facilities);
+  j["sssp"] = core::to_json(config.sssp);
+  return j;
+}
+
+util::Json to_json(const WorkloadConfig& config) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kServingSchemaVersion;
+  j["seed"] = config.seed;
+  j["ticks"] = config.ticks;
+  j["arrivals_per_tick"] = config.arrivals_per_tick;
+  j["zipf_s"] = config.zipf_s;
+  j["nearest_fraction"] = config.nearest_fraction;
+  j["root_universe"] = static_cast<std::uint64_t>(config.roots.size());
+  j["num_vertices"] = config.num_vertices;
+  return j;
+}
+
+util::Json to_json(const CacheStats& stats) {
+  util::Json j = util::Json::object();
+  j["hits"] = stats.hits;
+  j["misses"] = stats.misses;
+  j["hit_rate"] = stats.hit_rate();
+  j["inserts"] = stats.inserts;
+  j["evictions"] = stats.evictions;
+  j["rejected"] = stats.rejected;
+  j["resident_entries"] = static_cast<std::uint64_t>(stats.resident_entries);
+  j["resident_bytes"] = static_cast<std::uint64_t>(stats.resident_bytes);
+  j["capacity_entries"] = static_cast<std::uint64_t>(stats.capacity_entries);
+  return j;
+}
+
+util::Json to_json(const ServiceMetrics& metrics) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kServingSchemaVersion;
+  j["arrived"] = metrics.arrived;
+  j["admitted"] = metrics.admitted;
+  j["shed"] = metrics.shed;
+  j["shed_rate"] =
+      metrics.arrived == 0
+          ? 0.0
+          : static_cast<double>(metrics.shed) /
+                static_cast<double>(metrics.arrived);
+  j["answered"] = metrics.answered;
+  j["slo_violations"] = metrics.slo_violations;
+  j["batches"] = metrics.batches;
+  j["waves"] = metrics.waves;
+  j["fetch_rounds"] = metrics.fetch_rounds;
+  j["ticks"] = metrics.ticks;
+  j["wave_seconds"] = metrics.wave_seconds;
+  j["fetch_seconds"] = metrics.fetch_seconds;
+  j["latency_ticks"] = hist_with_percentiles(metrics.latency_ticks);
+  j["batch_occupancy"] = hist_with_percentiles(metrics.batch_occupancy);
+  j["queue_depth"] = hist_with_percentiles(metrics.queue_depth);
+  j["cache"] = to_json(metrics.cache);
+  return j;
+}
+
+util::Json to_json(const ServingRunReport& report) {
+  util::Json j = util::Json::object();
+  j["schema_version"] = kServingSchemaVersion;
+  j["ticks_run"] = report.ticks_run;
+  j["wall_seconds"] = report.wall_seconds;
+  j["throughput_qps"] = report.throughput_qps();
+  j["metrics"] = to_json(report.metrics);
+  return j;
+}
+
+}  // namespace g500::serve

@@ -1,0 +1,187 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/remote.hpp"
+#include "util/timer.hpp"
+
+namespace g500::serve {
+
+DistanceService::DistanceService(simmpi::Comm& comm,
+                                 const graph::DistGraph& g, ServeConfig config)
+    : comm_(comm),
+      g_(g),
+      config_(std::move(config)),
+      // Charge every entry the widest owned slice so residency decisions
+      // are rank-independent (see cache.hpp).
+      cache_(config_.cache_budget_bytes,
+             g.part.count(0) * sizeof(graph::Weight)) {
+  if (config_.queue_depth == 0) {
+    throw std::invalid_argument("DistanceService: queue_depth must be >= 1");
+  }
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("DistanceService: batch_size must be >= 1");
+  }
+  for (const auto f : config_.facilities) {
+    if (f >= g_.num_vertices) {
+      throw std::out_of_range("DistanceService: facility out of range");
+    }
+  }
+}
+
+bool DistanceService::submit(const Query& q) {
+  ++metrics_.arrived;
+  if (q.kind == QueryKind::kNearestFacility && config_.facilities.empty()) {
+    throw std::invalid_argument(
+        "DistanceService: nearest query without a facility set");
+  }
+  if (q.target >= g_.num_vertices ||
+      (q.kind == QueryKind::kPointToPoint && q.root >= g_.num_vertices)) {
+    throw std::out_of_range("DistanceService: query vertex out of range");
+  }
+  if (queue_.size() >= config_.queue_depth) {
+    if (config_.shed_policy == ShedPolicy::kRejectNew) {
+      ++metrics_.shed;
+      shed_log_.push_back(q);
+      return false;
+    }
+    // kDropOldest: the longest waiter is shed to make room.
+    ++metrics_.shed;
+    shed_log_.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  ++metrics_.admitted;
+  queue_.push_back(q);
+  return true;
+}
+
+RootCache::Slice DistanceService::resolve(graph::VertexId key,
+                                          bool* from_cache) {
+  if (auto slice = cache_.lookup(key)) {
+    *from_cache = true;
+    return slice;
+  }
+  *from_cache = false;
+  util::Timer timer;
+  core::SsspResult result;
+  if (key == facility_key()) {
+    result = core::delta_stepping_multi(comm_, g_, config_.facilities,
+                                        config_.sssp);
+  } else {
+    result = core::delta_stepping(comm_, g_, key, config_.sssp);
+  }
+  metrics_.wave_seconds += timer.seconds();
+  ++metrics_.waves;
+  auto slice = std::make_shared<const std::vector<graph::Weight>>(
+      std::move(result.dist));
+  // Shared ownership keeps the slice alive for this batch's extraction
+  // even if a later insert evicts the entry again.
+  cache_.insert(key, slice);
+  return slice;
+}
+
+std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
+  ++metrics_.ticks;
+  metrics_.queue_depth.add(queue_.size());
+  if (queue_.empty()) return {};
+
+  const bool deadline =
+      now >= queue_.front().arrival_tick + config_.max_wait_ticks;
+  const bool full = queue_.size() >= config_.batch_size;
+  if (!flush && !deadline && !full) return {};
+
+  // ---- form the batch (FIFO prefix) ----------------------------------
+  const std::size_t take = std::min(queue_.size(), config_.batch_size);
+  std::vector<Query> batch(queue_.begin(),
+                           queue_.begin() + static_cast<std::ptrdiff_t>(take));
+  queue_.erase(queue_.begin(), queue_.begin() +
+                                   static_cast<std::ptrdiff_t>(take));
+  ++metrics_.batches;
+  metrics_.batch_occupancy.add(batch.size());
+
+  // ---- dedupe roots and resolve each group's distance slice ----------
+  // First-appearance order keeps the collective sequence identical on
+  // every rank.
+  std::vector<graph::VertexId> keys;
+  std::vector<RootCache::Slice> slices;
+  std::vector<bool> cached;
+  std::vector<std::uint32_t> slot_of(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const graph::VertexId key = batch[i].kind == QueryKind::kNearestFacility
+                                    ? facility_key()
+                                    : batch[i].root;
+    const auto it = std::find(keys.begin(), keys.end(), key);
+    if (it == keys.end()) {
+      bool from_cache = false;
+      auto slice = resolve(key, &from_cache);
+      slot_of[i] = static_cast<std::uint32_t>(keys.size());
+      keys.push_back(key);
+      slices.push_back(std::move(slice));
+      cached.push_back(from_cache);
+    } else {
+      slot_of[i] = static_cast<std::uint32_t>(it - keys.begin());
+    }
+  }
+
+  // ---- one batched exchange answers every query ----------------------
+  std::vector<core::SlotQuery> fetches;
+  fetches.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    fetches.push_back(core::SlotQuery{slot_of[i], batch[i].target});
+  }
+  std::vector<const std::vector<graph::Weight>*> slots;
+  slots.reserve(slices.size());
+  for (const auto& s : slices) slots.push_back(s.get());
+  util::Timer fetch_timer;
+  const auto distances =
+      core::fetch_values_batched(comm_, g_.part, fetches, slots);
+  metrics_.fetch_seconds += fetch_timer.seconds();
+  ++metrics_.fetch_rounds;
+
+  // ---- complete ------------------------------------------------------
+  std::vector<Answer> answers;
+  answers.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Answer a;
+    a.id = batch[i].id;
+    a.kind = batch[i].kind;
+    a.root = batch[i].root;
+    a.target = batch[i].target;
+    a.distance = distances[i];
+    a.from_cache = cached[slot_of[i]];
+    a.arrival_tick = batch[i].arrival_tick;
+    a.completion_tick = now;
+    ++metrics_.answered;
+    metrics_.latency_ticks.add(a.latency_ticks());
+    if (a.latency_ticks() > config_.slo_ticks) ++metrics_.slo_violations;
+    answers.push_back(a);
+  }
+  return answers;
+}
+
+std::vector<Answer> DistanceService::drain(std::uint64_t start_tick,
+                                           std::uint64_t* end_tick) {
+  std::vector<Answer> all;
+  std::uint64_t now = start_tick;
+  while (!queue_.empty()) {
+    auto batch = tick(now++, /*flush=*/true);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  if (end_tick != nullptr) *end_tick = now;
+  return all;
+}
+
+const ServiceMetrics& DistanceService::metrics() {
+  metrics_.cache = cache_.stats();
+  return metrics_;
+}
+
+void DistanceService::reset_metrics() {
+  metrics_ = ServiceMetrics{};
+  shed_log_.clear();
+  cache_.reset_counters();
+}
+
+}  // namespace g500::serve

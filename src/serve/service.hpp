@@ -1,0 +1,162 @@
+// Online distance-query service on top of the distributed delta-stepping
+// engine.
+//
+// The service turns the offline SSSP kernel into a request-serving loop
+// with the shape of an inference-serving stack:
+//
+//   * admission queue — bounded depth; over-capacity arrivals are shed
+//     (reject-new) or displace the oldest waiter (drop-oldest);
+//   * micro-batch scheduler — pending queries are coalesced per simulated
+//     tick and dispatched together once the batch fills or the oldest
+//     waiter hits the dispatch deadline; the batch's roots are deduped so
+//     one delta-stepping wave serves every query on that root, and all
+//     answers of a batch are extracted through a single batched
+//     value-fetch exchange (core::fetch_values_batched);
+//   * root-result cache — LRU over per-rank distance slices (cache.hpp),
+//     so popular roots skip the wave entirely;
+//   * SLO telemetry — latency (in ticks) histograms with interpolated
+//     p50/p90/p99, queue depth, batch occupancy, shed and cache counters.
+//
+// SPMD contract: construct one DistanceService per rank inside
+// World::run, feed every rank the identical submission sequence (the
+// deterministic serve::Workload guarantees this), and call tick() on all
+// ranks in lockstep — waves and fetches are collectives.  Nearest-
+// facility queries are answered from one delta_stepping_multi wave over
+// the configured facility set, cached under a reserved key.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/delta_stepping.hpp"
+#include "graph/builder.hpp"
+#include "serve/cache.hpp"
+#include "serve/workload.hpp"
+#include "simmpi/comm.hpp"
+#include "util/histogram.hpp"
+
+namespace g500::serve {
+
+enum class ShedPolicy : std::uint8_t {
+  kRejectNew,   ///< a full queue bounces the arriving query
+  kDropOldest,  ///< a full queue sheds the longest waiter to admit the new one
+};
+
+struct ServeConfig {
+  std::size_t queue_depth = 64;    ///< admission bound (>=1)
+  std::size_t batch_size = 8;      ///< max queries dispatched per tick
+  std::uint64_t max_wait_ticks = 4;  ///< dispatch once the oldest waits this long
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  std::uint64_t slo_ticks = 32;    ///< latency objective (violations counted)
+  std::size_t cache_budget_bytes = std::size_t{1} << 20;  ///< per rank
+  std::vector<graph::VertexId> facilities;  ///< nearest-query source set
+  core::SsspConfig sssp;           ///< engine knobs for dispatched waves
+};
+
+/// One completed query.
+struct Answer {
+  std::uint64_t id = 0;
+  QueryKind kind = QueryKind::kPointToPoint;
+  graph::VertexId root = 0;
+  graph::VertexId target = 0;
+  graph::Weight distance = 0.0f;
+  bool from_cache = false;
+  std::uint64_t arrival_tick = 0;
+  std::uint64_t completion_tick = 0;
+  [[nodiscard]] std::uint64_t latency_ticks() const noexcept {
+    return completion_tick - arrival_tick;
+  }
+};
+
+/// Service counters.  Everything except the *_seconds fields is a pure
+/// function of the submission sequence and thus identical across ranks;
+/// the seconds are this rank's wall clock.
+struct ServiceMetrics {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t slo_violations = 0;
+
+  std::uint64_t batches = 0;
+  std::uint64_t waves = 0;         ///< delta-stepping waves dispatched
+  std::uint64_t fetch_rounds = 0;  ///< batched answer-extraction exchanges
+  std::uint64_t ticks = 0;         ///< tick() calls observed
+
+  util::Log2Histogram latency_ticks;     ///< per answered query
+  util::Log2Histogram batch_occupancy;   ///< queries per dispatched batch
+  util::Log2Histogram queue_depth;       ///< sampled at every tick()
+
+  double wave_seconds = 0.0;   ///< rank-local time inside waves
+  double fetch_seconds = 0.0;  ///< rank-local time inside answer fetches
+
+  CacheStats cache;  ///< copied from the root cache on read
+};
+
+class DistanceService {
+ public:
+  /// `g` is this rank's graph piece; facilities (if any) are validated
+  /// against the vertex range here.
+  DistanceService(simmpi::Comm& comm, const graph::DistGraph& g,
+                  ServeConfig config);
+
+  /// Offer `q` to the admission queue (local bookkeeping, no collectives
+  /// — but every rank must observe the same submission sequence).
+  /// Returns false when the query was shed; with kDropOldest the
+  /// displaced victim lands in shed_log() instead and this returns true.
+  bool submit(const Query& q);
+
+  /// Advance the simulated clock to `now`: samples the queue depth and
+  /// dispatches at most one micro-batch if the batch-size or deadline
+  /// trigger fires (`flush` forces dispatch of any pending queries, used
+  /// for draining).  Collective when a batch dispatches; every rank must
+  /// call tick() in lockstep with identical arguments.  Returns the
+  /// answers completed this tick, in batch order.
+  std::vector<Answer> tick(std::uint64_t now, bool flush = false);
+
+  /// Run tick(now, flush=true) from `start_tick` until the queue is
+  /// empty, collecting every answer.  Returns the first idle tick in
+  /// `*end_tick` when non-null.
+  std::vector<Answer> drain(std::uint64_t start_tick,
+                            std::uint64_t* end_tick = nullptr);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Queries shed so far (either bounced arrivals or drop-oldest
+  /// victims), in shed order; the caller may re-submit them later.
+  [[nodiscard]] const std::vector<Query>& shed_log() const noexcept {
+    return shed_log_;
+  }
+
+  /// Counters with the cache block refreshed.
+  [[nodiscard]] const ServiceMetrics& metrics();
+
+  /// Zero the counters and the shed log but keep the cache contents —
+  /// the warm-up / measured-phase split every serving benchmark needs.
+  void reset_metrics();
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Reserved cache key for the facility wave (delta_stepping_multi over
+  /// config_.facilities).  No real root can collide: vertex ids are
+  /// < num_vertices.
+  [[nodiscard]] graph::VertexId facility_key() const noexcept {
+    return graph::kNoVertex;
+  }
+
+  /// Slice for `key`, from cache or a fresh wave (collective on miss).
+  [[nodiscard]] RootCache::Slice resolve(graph::VertexId key,
+                                         bool* from_cache);
+
+  simmpi::Comm& comm_;
+  const graph::DistGraph& g_;
+  ServeConfig config_;
+  RootCache cache_;
+  std::deque<Query> queue_;
+  std::vector<Query> shed_log_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace g500::serve

@@ -1,0 +1,108 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace g500::serve {
+
+namespace {
+// Independent sub-streams of the workload seed, mixed into the per-tick
+// engines so arrival counts and query contents never correlate.
+constexpr std::uint64_t kArrivalStream = 0xa1;
+constexpr std::uint64_t kQueryStream = 0x9e;
+}  // namespace
+
+Workload::Workload(WorkloadConfig config) : config_(std::move(config)) {
+  if (config_.ticks == 0) {
+    throw std::invalid_argument("Workload: ticks must be positive");
+  }
+  if (config_.arrivals_per_tick < 0.0 || config_.arrivals_per_tick > 1e4) {
+    throw std::invalid_argument("Workload: arrivals_per_tick out of range");
+  }
+  if (config_.nearest_fraction < 0.0 || config_.nearest_fraction > 1.0) {
+    throw std::invalid_argument("Workload: nearest_fraction not in [0,1]");
+  }
+  if (config_.roots.empty() && config_.nearest_fraction < 1.0) {
+    throw std::invalid_argument(
+        "Workload: point-to-point queries need a root universe");
+  }
+  if (config_.num_vertices == 0) {
+    throw std::invalid_argument("Workload: num_vertices must be positive");
+  }
+  // Zipf CDF over the universe: p(k) proportional to 1/(k+1)^s.
+  zipf_cdf_.reserve(config_.roots.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < config_.roots.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), config_.zipf_s);
+    zipf_cdf_.push_back(total);
+  }
+  for (auto& c : zipf_cdf_) c /= total;
+  // Arrival counts are cheap; precompute the prefix so query ids are a
+  // pure function of the tick.
+  id_base_.reserve(config_.ticks + 1);
+  id_base_.push_back(0);
+  for (std::uint64_t t = 0; t < config_.ticks; ++t) {
+    id_base_.push_back(id_base_.back() + poisson_count(t));
+  }
+}
+
+std::uint64_t Workload::poisson_count(std::uint64_t tick) const {
+  // Knuth's product method on a per-tick engine: deterministic, and exact
+  // for the small lambdas a tick-granular workload uses.
+  util::SplitMix64 rng(
+      util::hash64(config_.seed, kArrivalStream, tick));
+  const double limit = std::exp(-config_.arrivals_per_tick);
+  if (config_.arrivals_per_tick <= 0.0) return 0;
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::vector<Query> Workload::arrivals(std::uint64_t tick) const {
+  if (tick >= config_.ticks) return {};
+  const std::uint64_t count = id_base_[tick + 1] - id_base_[tick];
+  std::vector<Query> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = id_base_[tick] + i;
+    util::SplitMix64 rng(util::hash64(config_.seed, kQueryStream, id));
+    Query q;
+    q.id = id;
+    q.arrival_tick = tick;
+    q.kind = rng.next_double() < config_.nearest_fraction
+                 ? QueryKind::kNearestFacility
+                 : QueryKind::kPointToPoint;
+    if (q.kind == QueryKind::kPointToPoint) {
+      const double u = rng.next_double();
+      const auto it =
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+      const auto idx = static_cast<std::size_t>(
+          std::min<std::ptrdiff_t>(it - zipf_cdf_.begin(),
+                                   static_cast<std::ptrdiff_t>(
+                                       config_.roots.size()) - 1));
+      q.root = config_.roots[idx];
+    }
+    q.target = rng.next_below(config_.num_vertices);
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<Query> Workload::trace() const {
+  std::vector<Query> all;
+  all.reserve(id_base_.back());
+  for (std::uint64_t t = 0; t < config_.ticks; ++t) {
+    const auto batch = arrivals(t);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+}  // namespace g500::serve

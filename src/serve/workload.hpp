@@ -1,0 +1,77 @@
+// Deterministic simulated-clock workload for the distance-query service.
+//
+// Time is a virtual tick counter, not the wall clock, so a (config, seed)
+// pair always produces the identical query trace — on every rank of an
+// SPMD run and across repeated runs.  The model is the standard open-loop
+// serving workload: arrivals per tick are Poisson(lambda) (the stream
+// does not wait for answers), sources follow a Zipf popularity law over a
+// fixed root universe (rank 0 of the universe is the most popular), and
+// targets are uniform over the vertex range.  A configurable fraction of
+// queries asks for the nearest of the service's facility set instead of a
+// point-to-point distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace g500::serve {
+
+enum class QueryKind : std::uint8_t {
+  kPointToPoint,     ///< distance from `root` to `target`
+  kNearestFacility,  ///< distance from the nearest configured facility
+};
+
+/// One distance query.  Ids are assigned in arrival order by the trace
+/// generator; the arrival tick is when the query enters the admission
+/// queue.
+struct Query {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_tick = 0;
+  QueryKind kind = QueryKind::kPointToPoint;
+  graph::VertexId root = 0;    ///< source vertex (ignored for kNearestFacility)
+  graph::VertexId target = 0;  ///< vertex whose distance is requested
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0x5e21;
+  std::uint64_t ticks = 256;        ///< horizon of the arrival process
+  double arrivals_per_tick = 4.0;   ///< Poisson lambda per tick
+  double zipf_s = 1.1;              ///< popularity exponent (0 = uniform)
+  double nearest_fraction = 0.0;    ///< share of kNearestFacility queries
+
+  /// Popularity-ranked root universe (index 0 = most popular).  Must be
+  /// non-empty unless nearest_fraction == 1.
+  std::vector<graph::VertexId> roots;
+  /// Targets are drawn uniformly from [0, num_vertices).
+  graph::VertexId num_vertices = 0;
+};
+
+/// Pure function of its config: arrivals(t) and trace() depend on nothing
+/// else, so every rank can generate the workload locally and agree on it.
+class Workload {
+ public:
+  explicit Workload(WorkloadConfig config);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Queries arriving at `tick`, in arrival order.  Ids are globally
+  /// sequential across ticks (precomputed arrival counts make them a pure
+  /// function of (seed, tick) too).
+  [[nodiscard]] std::vector<Query> arrivals(std::uint64_t tick) const;
+
+  /// The whole trace, all ticks concatenated in arrival order.
+  [[nodiscard]] std::vector<Query> trace() const;
+
+ private:
+  [[nodiscard]] std::uint64_t poisson_count(std::uint64_t tick) const;
+
+  WorkloadConfig config_;
+  std::vector<double> zipf_cdf_;         ///< over config_.roots
+  std::vector<std::uint64_t> id_base_;   ///< first query id of each tick
+};
+
+}  // namespace g500::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 namespace g500::util {
@@ -51,6 +52,33 @@ std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
     }
   }
   return max_;
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target mass in [0, count]; walk the cumulative distribution and
+  // interpolate linearly inside the bin that crosses it.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double fraction =
+          (target - before) / static_cast<double>(buckets_[i]);
+      const double value = lo + fraction * (hi - lo);
+      return std::min(value, static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::vector<double> Log2Histogram::slo_percentiles() const {
+  return {quantile(0.50), quantile(0.90), quantile(0.99)};
 }
 
 std::string Log2Histogram::to_string(std::size_t bar_width) const {

@@ -25,6 +25,17 @@ class Log2Histogram {
   /// (upper bucket bound).  q in [0,1].
   [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const;
 
+  /// Interpolated quantile estimate: mass is assumed uniform within each
+  /// power-of-two bin (the Prometheus histogram_quantile convention), so
+  /// the result is a double inside the bin holding the q-th sample,
+  /// clamped to the observed maximum.  Error is bounded by the bin width.
+  /// q in [0,1]; 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// The three SLO percentiles every latency report carries, in order
+  /// {p50, p90, p99} (each = quantile(q)).
+  [[nodiscard]] std::vector<double> slo_percentiles() const;
+
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
     return buckets_;
   }

@@ -314,6 +314,43 @@ TEST(DeltaStepping, MultiSourceEqualsMinOverSingleSources) {
   });
 }
 
+TEST(DeltaStepping, MultiSourceOracleAcrossAllGraphShapes) {
+  // Batched nearest-root distances must equal the per-root Dijkstra
+  // minimum on every standard graph shape, including when some roots are
+  // isolated vertices appended past the generated edges.
+  for (const auto& gcase : g500::testing::standard_graph_cases()) {
+    EdgeList list = gcase.make();
+    const VertexId isolated_a = list.num_vertices;
+    const VertexId isolated_b = list.num_vertices + 1;
+    list.num_vertices += 2;  // two isolated vertices, no edges touch them
+    const std::vector<VertexId> roots = {0, list.num_vertices / 3,
+                                         isolated_a, isolated_b};
+    simmpi::World world(3);
+    world.run([&](simmpi::Comm& comm) {
+      const DistGraph g = build_distributed(
+          comm, slice_for_rank(list, comm.rank(), comm.size()),
+          list.num_vertices);
+      const auto mine = core::delta_stepping_multi(comm, g, roots);
+      const auto whole = core::gather_result(comm, g, mine);
+      std::vector<float> want(list.num_vertices, kInfDistance);
+      for (const auto root : roots) {
+        const auto single = core::dijkstra(list, root);
+        for (VertexId v = 0; v < list.num_vertices; ++v) {
+          want[v] = std::min(want[v], single.dist[v]);
+        }
+      }
+      ASSERT_EQ(whole.dist.size(), want.size()) << gcase.name;
+      for (VertexId v = 0; v < list.num_vertices; ++v) {
+        EXPECT_FLOAT_EQ(whole.dist[v], want[v])
+            << gcase.name << " vertex " << v;
+      }
+      // Isolated roots reach only themselves but still anchor there.
+      EXPECT_EQ(whole.dist[isolated_a], 0.0f) << gcase.name;
+      EXPECT_EQ(whole.parent[isolated_b], isolated_b) << gcase.name;
+    });
+  }
+}
+
 TEST(DeltaStepping, MultiSourceRejectsEmptyAndBadRoots) {
   const EdgeList list = path_graph(8);
   simmpi::World world(2);

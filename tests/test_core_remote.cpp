@@ -72,4 +72,147 @@ TEST(FetchValues, LargeVolume) {
   });
 }
 
+TEST(FetchValues, AllRemoteQueries) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(64, comm.size());
+    std::vector<std::uint64_t> local(part.count(comm.rank()));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = (part.begin(comm.rank()) + i) * 3;
+    }
+    // Every query targets a vertex owned by somebody else.
+    std::vector<VertexId> queries;
+    for (VertexId v = 0; v < 64; ++v) {
+      if (part.owner(v) != comm.rank()) queries.push_back(v);
+    }
+    ASSERT_FALSE(queries.empty());
+    const auto got = core::fetch_values(comm, part, queries, local);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], queries[i] * 3) << "query " << i;
+    }
+  });
+}
+
+TEST(FetchValues, DuplicateHeavyQueries) {
+  simmpi::World world(3);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(30, comm.size());
+    std::vector<int> local(part.count(comm.rank()));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = static_cast<int>(part.begin(comm.rank()) + i) + 100;
+    }
+    // The same two vertices asked many times, interleaved.
+    std::vector<VertexId> queries;
+    for (int rep = 0; rep < 20; ++rep) {
+      queries.push_back(29);
+      queries.push_back(0);
+      queries.push_back(29);
+    }
+    const auto got = core::fetch_values(comm, part, queries, local);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], static_cast<int>(queries[i]) + 100);
+    }
+  });
+}
+
+TEST(FetchValues, OrderPreservedUnderSkewedOwnership) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    // 10 vertices over 4 ranks: counts 3,3,2,2 — and the query stream
+    // hammers rank 0's vertices with occasional remote detours, so the
+    // per-rank reply cursors are exercised asymmetrically.
+    const BlockPartition part(10, comm.size());
+    std::vector<std::uint64_t> local(part.count(comm.rank()));
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      local[i] = (part.begin(comm.rank()) + i) * 7 + 1;
+    }
+    std::vector<VertexId> queries;
+    for (int rep = 0; rep < 8; ++rep) {
+      queries.push_back(0);
+      queries.push_back(1);
+      queries.push_back(2);                             // rank 0's block
+      if (rep % 3 == 0) queries.push_back(9);           // last rank
+      if (rep % 4 == 0) queries.push_back(5);           // middle rank
+    }
+    const auto got = core::fetch_values(comm, part, queries, local);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], queries[i] * 7 + 1) << "position " << i;
+    }
+  });
+}
+
+// ------------------------------------------------------ fetch_values_batched
+
+TEST(FetchValuesBatched, AnswersAcrossSlotsInQueryOrder) {
+  simmpi::World world(4);
+  world.run([](simmpi::Comm& comm) {
+    const BlockPartition part(40, comm.size());
+    // Slot s stores value = global id * (s + 1).
+    std::vector<std::vector<std::uint64_t>> sets(3);
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      sets[s].resize(part.count(comm.rank()));
+      for (std::size_t i = 0; i < sets[s].size(); ++i) {
+        sets[s][i] = (part.begin(comm.rank()) + i) * (s + 1);
+      }
+    }
+    const std::vector<const std::vector<std::uint64_t>*> slots = {
+        &sets[0], &sets[1], &sets[2]};
+    // A mix of slots, owners, duplicates — including (slot, vertex) pairs
+    // repeated back-to-back.
+    const std::vector<core::SlotQuery> queries = {
+        {2, 39}, {0, 0}, {1, 7}, {1, 7}, {0, 39}, {2, 0}, {1, 20}, {2, 39}};
+    const auto got = core::fetch_values_batched(comm, part, queries, slots);
+    ASSERT_EQ(got.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], queries[i].vertex * (queries[i].slot + 1))
+          << "query " << i;
+    }
+  });
+}
+
+TEST(FetchValuesBatched, EmptyQueriesAndSingleRank) {
+  {
+    simmpi::World world(3);
+    world.run([](simmpi::Comm& comm) {
+      const BlockPartition part(9, comm.size());
+      const std::vector<float> mine(part.count(comm.rank()), 2.5f);
+      const std::vector<const std::vector<float>*> slots = {&mine};
+      std::vector<core::SlotQuery> queries;
+      if (comm.rank() == 2) queries = {{0, 0}, {0, 8}};
+      const auto got = core::fetch_values_batched(comm, part, queries, slots);
+      EXPECT_EQ(got.size(), queries.size());
+      for (const auto v : got) EXPECT_EQ(v, 2.5f);
+    });
+  }
+  {
+    simmpi::World world(1);
+    world.run([](simmpi::Comm& comm) {
+      const BlockPartition part(4, 1);
+      const std::vector<int> a = {0, 1, 2, 3};
+      const std::vector<int> b = {10, 11, 12, 13};
+      const std::vector<const std::vector<int>*> slots = {&a, &b};
+      const auto got = core::fetch_values_batched(
+          comm, part, {{1, 3}, {0, 1}, {1, 0}}, slots);
+      EXPECT_EQ(got, (std::vector<int>{13, 1, 10}));
+    });
+  }
+}
+
+TEST(FetchValuesBatched, RejectsOutOfRangeSlot) {
+  simmpi::World world(2);
+  EXPECT_THROW(
+      world.run([](simmpi::Comm& comm) {
+        const BlockPartition part(4, comm.size());
+        const std::vector<int> mine(part.count(comm.rank()), 0);
+        const std::vector<const std::vector<int>*> slots = {&mine};
+        (void)core::fetch_values_batched(comm, part,
+                                         {{1, 0}},  // slot 1 does not exist
+                                         slots);
+      }),
+      std::out_of_range);
+}
+
 }  // namespace

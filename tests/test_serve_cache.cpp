@@ -1,0 +1,123 @@
+// Tests for the serving layer's LRU root-result cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "serve/cache.hpp"
+
+namespace {
+
+using namespace g500;
+using serve::RootCache;
+
+RootCache::Slice slice_of(float value) {
+  return std::make_shared<const std::vector<graph::Weight>>(4, value);
+}
+
+TEST(RootCache, HitMissAndLruOrder) {
+  // Budget for exactly two entries of 100 bytes each.
+  RootCache cache(200, 100);
+  EXPECT_EQ(cache.stats().capacity_entries, 2u);
+
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  cache.insert(1, slice_of(1.0f));
+  cache.insert(2, slice_of(2.0f));
+  ASSERT_NE(cache.lookup(1), nullptr);  // 1 is now most-recent
+
+  cache.insert(3, slice_of(3.0f));  // evicts 2, the least-recent
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.resident_entries, 2u);
+  EXPECT_EQ(s.resident_bytes, 200u);
+}
+
+TEST(RootCache, ContainsDoesNotCountOrReorder) {
+  RootCache cache(200, 100);
+  cache.insert(1, slice_of(1.0f));
+  cache.insert(2, slice_of(2.0f));
+  EXPECT_TRUE(cache.contains(1));  // no LRU refresh
+  cache.insert(3, slice_of(3.0f));
+  // 1 was least-recent despite the contains() probe, so it was evicted.
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(RootCache, ZeroBudgetRejectsInserts) {
+  RootCache cache(0, 100);
+  EXPECT_EQ(cache.stats().capacity_entries, 0u);
+  cache.insert(1, slice_of(1.0f));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(RootCache, ReplaceExistingKeyKeepsFootprint) {
+  RootCache cache(100, 100);
+  cache.insert(7, slice_of(1.0f));
+  cache.insert(7, slice_of(9.0f));
+  EXPECT_EQ(cache.stats().resident_entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  const auto got = cache.lookup(7);
+  ASSERT_NE(got, nullptr);
+  EXPECT_FLOAT_EQ(got->front(), 9.0f);
+}
+
+TEST(RootCache, SharedSliceSurvivesEviction) {
+  RootCache cache(100, 100);
+  cache.insert(1, slice_of(1.0f));
+  const auto held = cache.lookup(1);
+  ASSERT_NE(held, nullptr);
+  cache.insert(2, slice_of(2.0f));  // evicts key 1
+  EXPECT_FALSE(cache.contains(1));
+  // The caller's reference keeps the evicted slice alive and intact.
+  EXPECT_FLOAT_EQ(held->front(), 1.0f);
+}
+
+TEST(RootCache, ResetCountersKeepsResidency) {
+  RootCache cache(300, 100);
+  cache.insert(1, slice_of(1.0f));
+  (void)cache.lookup(1);
+  (void)cache.lookup(5);
+  cache.reset_counters();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  // Residency survives: the next lookup is a hit, not a miss.
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().resident_entries, 1u);
+}
+
+TEST(RootCache, ClearDropsEverything) {
+  RootCache cache(300, 100);
+  cache.insert(1, slice_of(1.0f));
+  cache.insert(2, slice_of(2.0f));
+  cache.clear();
+  EXPECT_EQ(cache.stats().resident_entries, 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(RootCache, HitRate) {
+  RootCache cache(200, 100);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);  // no lookups yet
+  cache.insert(1, slice_of(1.0f));
+  (void)cache.lookup(1);
+  (void)cache.lookup(1);
+  (void)cache.lookup(9);
+  EXPECT_NEAR(cache.stats().hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace

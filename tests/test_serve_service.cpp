@@ -1,0 +1,373 @@
+// End-to-end tests for the online distance-query service: answers must be
+// bit-identical to a fresh offline delta-stepping run, the micro-batcher
+// must honor its size/deadline triggers, shedding must follow the
+// configured policy, and the counters must agree across ranks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/delta_stepping.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "serve/driver.hpp"
+#include "serve/json.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using serve::Answer;
+using serve::DistanceService;
+using serve::Query;
+using serve::QueryKind;
+using serve::ServeConfig;
+using serve::ShedPolicy;
+using serve::Workload;
+using serve::WorkloadConfig;
+
+graph::DistGraph build_test_graph(simmpi::Comm& comm,
+                                  const graph::EdgeList& list) {
+  return graph::build_distributed(
+      comm, graph::slice_for_rank(list, comm.rank(), comm.size()),
+      list.num_vertices);
+}
+
+/// Every answer of a seeded workload replayed through the service equals
+/// the fresh offline computation for its root, bit for bit — cache hits,
+/// batching and dedup must not perturb a single value.
+TEST(ServeService, AnswersBitIdenticalToFreshDeltaStepping) {
+  const auto list = graph::random_graph(128, 512, 24);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    WorkloadConfig wl;
+    wl.seed = 7;
+    wl.ticks = 24;
+    wl.arrivals_per_tick = 3.0;
+    wl.zipf_s = 1.1;
+    wl.roots = {3, 11, 42, 64, 100};
+    wl.num_vertices = g.num_vertices;
+
+    ServeConfig config;
+    config.batch_size = 4;
+    config.max_wait_ticks = 2;
+    config.queue_depth = 256;  // no shedding: every query must be answered
+
+    const auto run = serve::run_workload(comm, g, config, Workload(wl),
+                                         /*keep_answers=*/true);
+    ASSERT_GT(run.answers.size(), 0u);
+    EXPECT_EQ(run.metrics.answered, run.answers.size());
+    EXPECT_EQ(run.metrics.shed, 0u);
+
+    // Fresh single-source runs, one per distinct root in the answer set.
+    std::map<graph::VertexId, core::SequentialResult> oracle;
+    for (const auto& a : run.answers) {
+      if (!oracle.count(a.root)) {
+        const auto mine = core::delta_stepping(comm, g, a.root, config.sssp);
+        oracle.emplace(a.root, core::gather_result(comm, g, mine));
+      }
+    }
+    std::uint64_t from_cache = 0;
+    for (const auto& a : run.answers) {
+      ASSERT_EQ(a.kind, QueryKind::kPointToPoint);
+      const auto& want = oracle.at(a.root).dist;
+      ASSERT_LT(a.target, want.size());
+      EXPECT_EQ(a.distance, want[a.target])
+          << "query " << a.id << " root " << a.root << " target " << a.target
+          << " from_cache " << a.from_cache;
+      if (a.from_cache) ++from_cache;
+    }
+    // A Zipf workload over 5 roots must produce warm answers.
+    EXPECT_GT(from_cache, 0u);
+    EXPECT_GT(run.metrics.cache.hit_rate(), 0.0);
+    // Dedup + cache: far fewer waves than answers.
+    EXPECT_LT(run.metrics.waves, run.metrics.answered);
+  });
+}
+
+TEST(ServeService, NearestFacilityMatchesMultiSourceOracle) {
+  const auto list = graph::random_graph(96, 384, 31);
+  simmpi::World world(3);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    ServeConfig config;
+    config.facilities = {2, 47, 90};
+    config.batch_size = 4;
+
+    WorkloadConfig wl;
+    wl.seed = 9;
+    wl.ticks = 12;
+    wl.arrivals_per_tick = 2.0;
+    wl.nearest_fraction = 1.0;
+    wl.num_vertices = g.num_vertices;
+
+    const auto run = serve::run_workload(comm, g, config, Workload(wl),
+                                         /*keep_answers=*/true);
+    ASSERT_GT(run.answers.size(), 0u);
+
+    const auto mine =
+        core::delta_stepping_multi(comm, g, config.facilities, config.sssp);
+    const auto want = core::gather_result(comm, g, mine);
+    for (const auto& a : run.answers) {
+      ASSERT_EQ(a.kind, QueryKind::kNearestFacility);
+      EXPECT_EQ(a.distance, want.dist[a.target]) << "query " << a.id;
+    }
+    // One facility wave serves the whole run (single reserved cache key).
+    EXPECT_EQ(run.metrics.waves, 1u);
+  });
+}
+
+TEST(ServeService, BatchDispatchTriggers) {
+  const auto list = graph::path_graph(32, 5);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.batch_size = 3;
+    config.max_wait_ticks = 2;
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.root = 0;
+    q.target = 5;
+    q.arrival_tick = 0;
+
+    // Deadline trigger: one waiter, batch far from full.
+    ASSERT_TRUE(service.submit(q));
+    EXPECT_TRUE(service.tick(0).empty());
+    EXPECT_TRUE(service.tick(1).empty());
+    const auto by_deadline = service.tick(2);  // age == max_wait_ticks
+    ASSERT_EQ(by_deadline.size(), 1u);
+    EXPECT_EQ(by_deadline[0].completion_tick, 2u);
+    EXPECT_EQ(by_deadline[0].latency_ticks(), 2u);
+
+    // Size trigger: the third submission fills the batch; it dispatches
+    // on the next tick even though no one hit the deadline.
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      q.id = 10 + i;
+      q.arrival_tick = 3;
+      ASSERT_TRUE(service.submit(q));
+    }
+    const auto by_size = service.tick(3);
+    ASSERT_EQ(by_size.size(), 3u);
+    for (const auto& a : by_size) EXPECT_EQ(a.latency_ticks(), 0u);
+  });
+}
+
+TEST(ServeService, RejectNewShedsArrivalsAndAllowsResubmit) {
+  const auto list = graph::path_graph(16, 6);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.queue_depth = 2;
+    config.batch_size = 8;
+    config.shed_policy = ShedPolicy::kRejectNew;
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.root = 0;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      q.id = i;
+      q.target = i;
+      const bool admitted = service.submit(q);
+      EXPECT_EQ(admitted, i < 2) << "query " << i;
+    }
+    ASSERT_EQ(service.shed_log().size(), 1u);
+    EXPECT_EQ(service.shed_log()[0].id, 2u);  // the arrival bounced
+    EXPECT_EQ(service.pending(), 2u);
+
+    auto answers = service.drain(1);
+    EXPECT_EQ(answers.size(), 2u);
+
+    // The shed query can be resubmitted once the queue has room.
+    Query retry = service.shed_log()[0];
+    retry.arrival_tick = 5;
+    ASSERT_TRUE(service.submit(retry));
+    answers = service.drain(5);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_EQ(answers[0].id, 2u);
+
+    const auto& m = service.metrics();
+    EXPECT_EQ(m.arrived, 4u);
+    EXPECT_EQ(m.admitted, 3u);
+    EXPECT_EQ(m.shed, 1u);
+    EXPECT_EQ(m.answered, 3u);
+  });
+}
+
+TEST(ServeService, DropOldestShedsLongestWaiter) {
+  const auto list = graph::path_graph(16, 6);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.queue_depth = 2;
+    config.batch_size = 8;
+    config.shed_policy = ShedPolicy::kDropOldest;
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.root = 0;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      q.id = i;
+      q.target = i;
+      EXPECT_TRUE(service.submit(q));  // drop-oldest always admits
+    }
+    ASSERT_EQ(service.shed_log().size(), 1u);
+    EXPECT_EQ(service.shed_log()[0].id, 0u);  // the longest waiter went
+    const auto answers = service.drain(0);
+    ASSERT_EQ(answers.size(), 2u);
+    EXPECT_EQ(answers[0].id, 1u);
+    EXPECT_EQ(answers[1].id, 2u);
+  });
+}
+
+TEST(ServeService, WarmCacheSkipsWaves) {
+  const auto list = graph::random_graph(64, 256, 12);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    WorkloadConfig wl;
+    wl.seed = 5;
+    wl.ticks = 8;
+    wl.arrivals_per_tick = 2.0;
+    wl.roots = {1, 2, 3};
+    wl.num_vertices = g.num_vertices;
+    const Workload workload(wl);
+
+    ServeConfig config;
+    DistanceService service(comm, g, config);
+    const auto cold =
+        serve::run_workload(comm, g, config, workload, false, &service);
+    ASSERT_GT(cold.metrics.answered, 0u);
+    EXPECT_GT(cold.metrics.waves, 0u);
+
+    // Same trace again on the warm service: every root is resident, so
+    // no wave dispatches at all and every lookup hits.
+    const auto warm =
+        serve::run_workload(comm, g, config, workload, false, &service);
+    EXPECT_EQ(warm.metrics.answered, cold.metrics.answered);
+    EXPECT_EQ(warm.metrics.waves, 0u);
+    EXPECT_DOUBLE_EQ(warm.metrics.cache.hit_rate(), 1.0);
+  });
+}
+
+TEST(ServeService, MetricsAgreeAcrossRanks) {
+  const auto list = graph::random_graph(80, 320, 17);
+  const int ranks = 4;
+  std::vector<std::vector<std::uint64_t>> per_rank(ranks);
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    WorkloadConfig wl;
+    wl.seed = 3;
+    wl.ticks = 16;
+    wl.arrivals_per_tick = 3.0;
+    wl.roots = {0, 10, 20, 30};
+    wl.num_vertices = g.num_vertices;
+    ServeConfig config;
+    config.queue_depth = 8;  // tight: force some shedding too
+    const auto run = serve::run_workload(comm, g, config, Workload(wl));
+    const auto& m = run.metrics;
+    per_rank[static_cast<std::size_t>(comm.rank())] = {
+        m.arrived,      m.admitted, m.shed,
+        m.answered,     m.batches,  m.waves,
+        m.fetch_rounds, m.cache.hits, m.cache.misses,
+        m.cache.evictions};
+  });
+  for (int r = 1; r < ranks; ++r) {
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)], per_rank[0])
+        << "rank " << r;
+  }
+}
+
+TEST(ServeService, ValidatesQueriesAndConfig) {
+  const auto list = graph::path_graph(8, 2);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    ServeConfig bad = {};
+    bad.queue_depth = 0;
+    EXPECT_THROW(DistanceService(comm, g, bad), std::invalid_argument);
+    bad = {};
+    bad.batch_size = 0;
+    EXPECT_THROW(DistanceService(comm, g, bad), std::invalid_argument);
+    bad = {};
+    bad.facilities = {g.num_vertices};
+    EXPECT_THROW(DistanceService(comm, g, bad), std::out_of_range);
+
+    DistanceService service(comm, g, ServeConfig{});
+    Query q;
+    q.root = g.num_vertices;  // out of range
+    q.target = 0;
+    EXPECT_THROW(service.submit(q), std::out_of_range);
+    q.root = 0;
+    q.kind = QueryKind::kNearestFacility;  // no facility set configured
+    EXPECT_THROW(service.submit(q), std::invalid_argument);
+  });
+}
+
+TEST(ServeService, RunReportJsonCarriesTheSchema) {
+  const auto list = graph::random_graph(48, 192, 8);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    WorkloadConfig wl;
+    wl.seed = 2;
+    wl.ticks = 8;
+    wl.arrivals_per_tick = 2.0;
+    wl.roots = {1, 5};
+    wl.num_vertices = g.num_vertices;
+    ServeConfig config;
+    config.facilities = {1};
+    const auto run = serve::run_workload(comm, g, config, Workload(wl));
+    if (comm.rank() != 0) return;
+
+    const auto j = serve::to_json(run);
+    ASSERT_TRUE(j.is_object());
+    EXPECT_TRUE(j.contains("ticks_run"));
+    EXPECT_TRUE(j.contains("wall_seconds"));
+    EXPECT_TRUE(j.contains("throughput_qps"));
+    ASSERT_TRUE(j.contains("metrics"));
+    const auto& m = j.at("metrics");
+    for (const auto* key :
+         {"arrived", "admitted", "shed", "shed_rate", "answered",
+          "slo_violations", "batches", "waves", "fetch_rounds",
+          "latency_ticks", "queue_depth", "cache"}) {
+      EXPECT_TRUE(m.contains(key)) << key;
+    }
+    const auto& lat = m.at("latency_ticks");
+    for (const auto* key : {"p50", "p90", "p99"}) {
+      EXPECT_TRUE(lat.contains(key)) << key;
+    }
+    const auto& cache = m.at("cache");
+    for (const auto* key : {"hits", "misses", "evictions", "hit_rate"}) {
+      EXPECT_TRUE(cache.contains(key)) << key;
+    }
+
+    const auto cfg = serve::to_json(config);
+    for (const auto* key : {"queue_depth", "batch_size", "max_wait_ticks",
+                            "shed_policy", "slo_ticks", "cache_budget_bytes",
+                            "facilities", "sssp"}) {
+      EXPECT_TRUE(cfg.contains(key)) << key;
+    }
+    const auto wj = serve::to_json(wl);
+    for (const auto* key : {"seed", "ticks", "arrivals_per_tick", "zipf_s",
+                            "nearest_fraction", "root_universe",
+                            "num_vertices"}) {
+      EXPECT_TRUE(wj.contains(key)) << key;
+    }
+  });
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Unit tests for histogram, table printer, CLI options and timers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 
@@ -78,6 +79,64 @@ TEST(Log2Histogram, QuantileUpperBoundIsMonotone) {
   EXPECT_LE(q25, q50);
   EXPECT_LE(q50, q99);
   EXPECT_GE(q99, 512u);
+}
+
+TEST(Log2Histogram, InterpolatedQuantileEmptyAndClamp) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.add(8);  // single sample: every quantile is within [8, 16) clamped to 8
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(Log2Histogram, InterpolatedQuantileTracksExactWithinBinWidth) {
+  Log2Histogram h;
+  for (std::uint64_t i = 1; i <= 1024; ++i) h.add(i);
+  // Exact quantile of 1..1024 is ~q*1024; the estimate may be off by at
+  // most the width of the bin it lands in.
+  for (const double q : {0.10, 0.25, 0.50, 0.90, 0.99}) {
+    const double exact = q * 1024.0;
+    const double got = h.quantile(q);
+    const double bin_width = std::max(2.0, exact);  // [2^k, 2^(k+1)) width
+    EXPECT_NEAR(got, exact, bin_width) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);  // clamped to the observed max
+}
+
+TEST(Log2Histogram, InterpolatedQuantileIsMonotone) {
+  Log2Histogram h;
+  h.add(1);
+  h.add(3, 5);
+  h.add(100, 2);
+  h.add(4000);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(h.quantile(1.0), static_cast<double>(h.max_value()));
+}
+
+TEST(Log2Histogram, InterpolatedQuantileMovesInsideBin) {
+  Log2Histogram h;
+  // All mass in bin [16, 32): interpolation spreads quantiles across it.
+  for (std::uint64_t i = 0; i < 100; ++i) h.add(16 + i % 16);
+  const double p10 = h.quantile(0.10);
+  const double p90 = h.quantile(0.90);
+  EXPECT_GE(p10, 16.0);
+  EXPECT_LT(p10, p90);  // uniform-in-bin assumption separates them
+  EXPECT_LE(p90, 32.0);
+}
+
+TEST(Log2Histogram, SloPercentilesAreOrdered) {
+  Log2Histogram h;
+  for (std::uint64_t i = 0; i < 500; ++i) h.add(i % 64);
+  const auto p = h.slo_percentiles();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_LE(p[0], p[1]);
+  EXPECT_LE(p[1], p[2]);
 }
 
 TEST(Log2Histogram, ToStringMentionsBuckets) {
