@@ -13,6 +13,14 @@
 //   (c) Does the service hold its SLO under open-loop load?  Poisson
 //       arrivals with Zipf popularity: p50/p90/p99 latency ticks, queue
 //       depth, shed rate, throughput.
+//   (d) What does the landmark (ALT) oracle buy?  The same cold point
+//       queries with the oracle off (full wave per root) and on
+//       (goal-directed pruned waves, exact hits and unreachability proofs
+//       settled from bounds): answers must stay bit-identical while total
+//       relaxations and wire bytes both drop.
+//   (e) Does adaptive batching earn its keep?  The open-loop workload at
+//       every fixed batch size vs the rate-tracking controller: the
+//       adaptive run must match or beat the best fixed p99.
 //
 // Everything lands in BENCH_serving.json (schema: docs/serving.md), gated
 // in CI by scripts/check_report_schema.py.
@@ -87,6 +95,9 @@ int main(int argc, char** argv) {
   const double lambda = options.get_double("lambda", 4.0);
   const double zipf = options.get_double("zipf", 1.2);
   const double min_speedup = options.get_double("min-speedup", 2.0);
+  const int landmarks = static_cast<int>(options.get_int("landmarks", 8));
+  const std::uint64_t oracle_queries =
+      static_cast<std::uint64_t>(options.get_int("oracle-queries", 24));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(options.get_int("seed", 0x5e21));
 
@@ -97,11 +108,22 @@ int main(int argc, char** argv) {
   util::Table warm_table({"batch", "qps", "speedup", "waves", "fetch rounds",
                           "hit rate", "p50", "p99"});
   util::Table cold_table({"batch", "qps", "waves", "waves/query"});
+  util::Table oracle_table({"oracle", "waves", "pruned waves", "direct",
+                            "relax generated", "wire bytes"});
+  util::Table adaptive_table({"policy", "batch", "p50", "p99", "shed",
+                              "answered"});
   const std::size_t batches[] = {1, 2, 4, 8, 16};
 
   double qps_b1 = 0.0;
   double qps_b8 = 0.0;
   double openloop_hit_rate = 0.0;
+  bool oracle_bit_identical = false;
+  double relax_reduction = 0.0;
+  double wire_reduction = 0.0;
+  std::size_t best_fixed_batch = 0;
+  double best_fixed_p99 = 0.0;
+  double adaptive_p99 = 0.0;
+  bool adaptive_ok = false;
   bool ok = true;
 
   simmpi::World world(ranks);
@@ -232,6 +254,147 @@ int main(int argc, char** argv) {
       live_table.print(std::cout,
                        "S1c: open-loop Poisson/Zipf serving, batch 8");
     }
+
+    // ---- (d) oracle on/off sweep ------------------------------------
+    // Cold uniform point queries (cache off, zipf 0): with the oracle off
+    // every root group costs one full wave; with it on, exact hits and
+    // unreachability proofs settle from the bounds and the remaining
+    // groups run goal-directed pruned waves.  Answers must not move a bit.
+    serve::WorkloadConfig pq = wl;
+    pq.ticks = 1;
+    pq.arrivals_per_tick = static_cast<double>(oracle_queries);
+    pq.zipf_s = 0.0;
+    const serve::Workload point_load(pq);
+
+    serve::ServeConfig off_cfg = base;
+    off_cfg.cache_budget_bytes = 0;
+    off_cfg.batch_size = 4;
+    off_cfg.queue_depth =
+        static_cast<std::size_t>(oracle_queries) * 4 + 64;
+    serve::ServeConfig on_cfg = off_cfg;
+    on_cfg.oracle.num_landmarks = static_cast<std::size_t>(landmarks);
+
+    const auto off_run =
+        serve::run_workload(comm, g, off_cfg, point_load, /*keep_answers=*/true);
+    const auto on_run =
+        serve::run_workload(comm, g, on_cfg, point_load, /*keep_answers=*/true);
+
+    bool identical = off_run.answers.size() == on_run.answers.size();
+    for (std::size_t i = 0; identical && i < off_run.answers.size(); ++i) {
+      const auto& a = off_run.answers[i];
+      const auto& b = on_run.answers[i];
+      // Float == is exact here: finite distances must match bit for bit
+      // and +inf compares equal to +inf.
+      identical = a.id == b.id && a.distance == b.distance;
+    }
+    if (comm.rank() == 0) {
+      oracle_bit_identical = identical;
+      relax_reduction =
+          off_run.relax_generated == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(on_run.relax_generated) /
+                          static_cast<double>(off_run.relax_generated);
+      wire_reduction =
+          off_run.wire_bytes == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(on_run.wire_bytes) /
+                          static_cast<double>(off_run.wire_bytes);
+      const auto& mo = on_run.metrics;
+      oracle_table.row()
+          .add("off")
+          .add(off_run.metrics.waves)
+          .add(off_run.metrics.pruned_waves)
+          .add(std::uint64_t{0})
+          .add(off_run.relax_generated)
+          .add(off_run.wire_bytes);
+      oracle_table.row()
+          .add("on")
+          .add(mo.waves)
+          .add(mo.pruned_waves)
+          .add(mo.oracle_exact + mo.oracle_unreachable)
+          .add(on_run.relax_generated)
+          .add(on_run.wire_bytes);
+
+      util::Json oj = util::Json::object();
+      oj["landmarks"] = static_cast<std::uint64_t>(landmarks);
+      oj["queries"] = static_cast<std::uint64_t>(off_run.answers.size());
+      oj["bit_identical"] = oracle_bit_identical;
+      oj["relax_reduction"] = relax_reduction;
+      oj["wire_reduction"] = wire_reduction;
+      oj["precompute_waves"] = mo.oracle_precompute_waves;
+      oj["precompute_seconds"] = mo.oracle_precompute_seconds;
+      oj["off"] = serve::to_json(off_run);
+      oj["on"] = serve::to_json(on_run);
+      report.doc()["serving"]["oracle"] = std::move(oj);
+    }
+
+    // ---- (e) adaptive vs fixed batch sizes --------------------------
+    // Same open-loop workload as (c) at every fixed batch size, then once
+    // with the rate-tracking controller: adaptive must match or beat the
+    // best fixed p99 without hand-picking the batch size.
+    double best_p99 = 0.0;
+    std::size_t best_b = 0;
+    for (const auto b : batches) {
+      serve::ServeConfig fixed = live;
+      fixed.batch_size = b;
+      const auto run = serve::run_workload(comm, g, fixed, live_load);
+      const auto p = run.metrics.latency_ticks.slo_percentiles();
+      if (best_b == 0 || p[2] < best_p99) {
+        best_p99 = p[2];
+        best_b = b;
+      }
+      if (comm.rank() == 0) {
+        adaptive_table.row()
+            .add("fixed")
+            .add(static_cast<std::uint64_t>(b))
+            .add(p[0], 1)
+            .add(p[2], 1)
+            .add(run.metrics.shed)
+            .add(run.metrics.answered);
+        util::Json c = util::Json::object();
+        c["phase"] = "fixed_batch_openloop";
+        c["scale"] = scale;
+        c["ranks"] = ranks;
+        c["batch_size"] = static_cast<std::uint64_t>(b);
+        c["run"] = serve::to_json(run);
+        report.add_case(std::move(c));
+      }
+    }
+
+    serve::ServeConfig auto_cfg = live;
+    auto_cfg.adaptive.enabled = true;
+    auto_cfg.adaptive.min_batch = 1;
+    auto_cfg.adaptive.max_batch = 32;
+    auto_cfg.adaptive.min_wait_ticks = 1;
+    auto_cfg.adaptive.max_wait_ticks = 8;
+    auto_cfg.adaptive.target_wait_ticks = 2.0;
+    const auto auto_run = serve::run_workload(comm, g, auto_cfg, live_load);
+    const auto auto_p = auto_run.metrics.latency_ticks.slo_percentiles();
+    if (comm.rank() == 0) {
+      best_fixed_batch = best_b;
+      best_fixed_p99 = best_p99;
+      adaptive_p99 = auto_p[2];
+      // "Matches or beats": allow half a tick of quantile-interpolation
+      // noise plus 5% for the convergence transient.
+      adaptive_ok = adaptive_p99 <= best_fixed_p99 * 1.05 + 0.5;
+      adaptive_table.row()
+          .add("adaptive")
+          .add("auto")
+          .add(auto_p[0], 1)
+          .add(auto_p[2], 1)
+          .add(auto_run.metrics.shed)
+          .add(auto_run.metrics.answered);
+
+      util::Json aj = util::Json::object();
+      aj["best_fixed_batch"] = static_cast<std::uint64_t>(best_fixed_batch);
+      aj["best_fixed_p99"] = best_fixed_p99;
+      aj["adaptive_p99"] = adaptive_p99;
+      aj["adaptive_adjustments"] = auto_run.metrics.adaptive_adjustments;
+      aj["adaptive_shed"] = auto_run.metrics.shed;
+      aj["adaptive_ok"] = adaptive_ok;
+      aj["run"] = serve::to_json(auto_run);
+      report.doc()["serving"]["adaptive"] = std::move(aj);
+    }
   });
 
   warm_table.print(std::cout, "S1a: warm-cache drain throughput vs batch size"
@@ -244,13 +407,32 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: waves/query < 1 once batches exceed 1 — "
                "Zipf-popular roots\nrepeat within a batch and share one "
                "wave.\n\n";
+  oracle_table.print(std::cout, "S1d: landmark (ALT) oracle off vs on, " +
+                                    std::to_string(landmarks) + " landmarks");
+  std::cout << "\nExpected shape: identical answers with fewer relaxations "
+               "and wire bytes —\nbounds settle exact/unreachable queries "
+               "outright and prune the rest.\n\n";
+  adaptive_table.print(std::cout,
+                       "S1e: open-loop p99 — fixed batch sizes vs adaptive");
+  std::cout << "\nExpected shape: the controller converges to the best fixed "
+               "operating point\nwithout being told the arrival rate.\n\n";
 
   const double speedup = qps_b1 > 0.0 ? qps_b8 / qps_b1 : 0.0;
   std::cout << "batch-8 vs batch-1 warm throughput: " << speedup
             << "x (required >= " << min_speedup << "x)\n";
   std::cout << "open-loop cache hit rate: " << openloop_hit_rate
             << " (required > 0)\n";
-  ok = speedup >= min_speedup && openloop_hit_rate > 0.0;
+  std::cout << "oracle answers bit-identical: "
+            << (oracle_bit_identical ? "yes" : "NO") << ", relax reduction "
+            << relax_reduction << ", wire reduction " << wire_reduction
+            << " (required: identical and both > 0)\n";
+  std::cout << "adaptive p99 " << adaptive_p99 << " vs best fixed p99 "
+            << best_fixed_p99 << " (batch " << best_fixed_batch
+            << ") -> " << (adaptive_ok ? "ok" : "NOT ok") << "\n";
+  const bool oracle_ok =
+      oracle_bit_identical && relax_reduction > 0.0 && wire_reduction > 0.0;
+  ok = speedup >= min_speedup && openloop_hit_rate > 0.0 && oracle_ok &&
+       adaptive_ok;
 
   report.doc()["speedup_batch8_vs_batch1"] = speedup;
   report.doc()["min_speedup"] = min_speedup;

@@ -41,6 +41,38 @@ SERVING_KEYS = (
 )
 SERVING_LATENCY_KEYS = ("p50", "p90", "p99")
 SERVING_CACHE_KEYS = ("hits", "misses", "hit_rate", "evictions")
+# serving.oracle: the landmark (ALT) on/off sweep — answers must be
+# bit-identical while relaxations and wire bytes both drop.
+SERVING_ORACLE_KEYS = (
+    "landmarks",
+    "queries",
+    "bit_identical",
+    "relax_reduction",
+    "wire_reduction",
+    "precompute_waves",
+    "precompute_seconds",
+    "off",
+    "on",
+)
+# serving.adaptive: the fixed-batch sweep vs the rate-tracking controller.
+SERVING_ADAPTIVE_KEYS = (
+    "best_fixed_batch",
+    "best_fixed_p99",
+    "adaptive_p99",
+    "adaptive_adjustments",
+    "adaptive_shed",
+    "adaptive_ok",
+    "run",
+)
+# Aggregated engine-work counters every serving run JSON must carry (the
+# cost side of the oracle ledger).
+SERVING_RUN_KEYS = (
+    "wire_bytes",
+    "relax_generated",
+    "relax_sent",
+    "pruned_expand",
+    "pruned_apply",
+)
 
 
 def check_trace(doc, path, errors):
@@ -93,6 +125,34 @@ def check_serving(doc, path, errors):
     for key in SERVING_CACHE_KEYS:
         if key not in cache:
             errors.append(f"{path}: serving cache missing '{key}'")
+    run = serving.get("run")
+    if isinstance(run, dict):
+        for key in SERVING_RUN_KEYS:
+            if key not in run:
+                errors.append(f"{path}: serving run missing '{key}'")
+    oracle = serving.get("oracle")
+    if not isinstance(oracle, dict):
+        errors.append(f"{path}: serving section missing 'oracle'")
+    else:
+        for key in SERVING_ORACLE_KEYS:
+            if key not in oracle:
+                errors.append(f"{path}: serving oracle missing '{key}'")
+        for mode in ("off", "on"):
+            run = oracle.get(mode)
+            if isinstance(run, dict):
+                for key in SERVING_RUN_KEYS:
+                    if key not in run:
+                        errors.append(
+                            f"{path}: serving oracle.{mode} missing '{key}'")
+        if oracle.get("bit_identical") is not True:
+            errors.append(f"{path}: serving oracle answers not bit_identical")
+    adaptive = serving.get("adaptive")
+    if not isinstance(adaptive, dict):
+        errors.append(f"{path}: serving section missing 'adaptive'")
+    else:
+        for key in SERVING_ADAPTIVE_KEYS:
+            if key not in adaptive:
+                errors.append(f"{path}: serving adaptive missing '{key}'")
 
 
 def check_file(path, errors):

@@ -55,6 +55,10 @@ class Engine {
     if (roots.empty()) {
       throw std::invalid_argument("delta_stepping: no roots");
     }
+    if (config.prune_lb != nullptr && config.prune_lb->size() != local_n_) {
+      throw std::invalid_argument(
+          "delta_stepping: prune_lb slice does not match the owned range");
+    }
     for (const auto root : roots) {
       if (root >= g.num_vertices) {
         throw std::out_of_range("delta_stepping: root out of range");
@@ -149,9 +153,23 @@ class Engine {
     return static_cast<std::uint64_t>(static_cast<double>(d) / delta_);
   }
 
+  /// Goal-directed pruning test: can a path reaching owned vertex `v` at
+  /// distance `base` still improve the query target within budget?  False
+  /// when pruning is off.  Written so NaN/infinity compare conservatively
+  /// (an infinite bound at an unreachable v prunes; an infinite budget
+  /// never does).
+  [[nodiscard]] bool pruned(LocalId v, Weight base) const {
+    return config_.prune_lb != nullptr &&
+           base + (*config_.prune_lb)[v] > config_.prune_budget;
+  }
+
   /// Apply a candidate to an owned vertex.  Returns true if it improved.
   bool relax_local(LocalId v, Weight cand, VertexId via) {
     if (!(cand < dist_[v])) return false;
+    if (pruned(v, cand)) {
+      ++stats_.pruned_apply;
+      return false;
+    }
     dist_[v] = cand;
     parent_[v] = via;
     queue_.update(v, bucket_of(cand));
@@ -280,6 +298,14 @@ class Engine {
                   std::uint64_t k) {
     (void)k;
     for (const auto v : active) {
+      // A vertex whose best continuation toward the query target already
+      // exceeds the budget cannot lie on a path that improves the answer;
+      // skipping its expansion is where goal-directed pruning saves edge
+      // relaxations and wire traffic.
+      if (pruned(v, dist_[v])) {
+        ++stats_.pruned_expand;
+        continue;
+      }
       const std::uint64_t first = light ? g_.csr.edges_begin(v) : split_[v];
       const std::uint64_t last = light ? split_[v] : g_.csr.edges_end(v);
       const Weight d = dist_[v];
@@ -295,6 +321,10 @@ class Engine {
     std::vector<FrontierEntry> frontier;
     frontier.reserve(active.size());
     for (const auto v : active) {
+      if (pruned(v, dist_[v])) {
+        ++stats_.pruned_expand;
+        continue;
+      }
       frontier.push_back(FrontierEntry{my_begin_ + v, dist_[v]});
     }
     stats_.frontier_broadcast += frontier.size();

@@ -12,7 +12,11 @@
 //   * direction switching — dense frontiers are broadcast once (pull) instead
 //                           of pushing a message per cut edge;
 //   * local fusion        — relaxations that stay on-rank are applied
-//                           immediately, skipping the exchange entirely.
+//                           immediately, skipping the exchange entirely;
+//   * goal-directed pruning — point-to-point queries pass an ALT lower-bound
+//                           slice (SsspConfig::prune_lb / prune_budget) and
+//                           the engine drops expansions and candidates that
+//                           provably cannot improve the target's distance.
 //
 // Call SPMD-style from inside simmpi::World::run; every rank passes its own
 // DistGraph piece and receives its owned slice of the result.

@@ -57,6 +57,8 @@ util::Json to_json(const SsspStats& stats) {
   j["filtered_hub"] = stats.filtered_hub;
   j["filtered_coalesce"] = stats.filtered_coalesce;
   j["frontier_broadcast"] = stats.frontier_broadcast;
+  j["pruned_expand"] = stats.pruned_expand;
+  j["pruned_apply"] = stats.pruned_apply;
   j["checkpoints"] = stats.checkpoints;
   j["restores"] = stats.restores;
   j["total_seconds"] = stats.total_seconds;

@@ -52,6 +52,23 @@ struct SsspConfig {
   /// topology-aware trade record runs make.
   int hierarchical_group = 0;
 
+  /// Goal-directed (ALT) pruning.  When `prune_lb` is non-null it points
+  /// at this rank's owned slice (indexed by local id) of an admissible
+  /// lower bound on the remaining distance to a query target:
+  /// prune_lb[local(v)] <= d(v, target).  The engine then drops work that
+  /// provably cannot improve the target's distance against `prune_budget`,
+  /// the best known upper bound on the answer: a vertex v is not expanded
+  /// when dist(v) + lb(v) > budget, and an incoming candidate is not
+  /// applied when cand + lb(v) > budget.  Every rank must pass slices of
+  /// the same global bound vector and an identical budget, and the slice
+  /// must outlive the call.  The resulting distance vector is exact at the
+  /// target (and at every vertex within budget) but stale beyond it — do
+  /// not reuse a pruned wave's slice for other targets.
+  const std::vector<graph::Weight>* prune_lb = nullptr;
+  /// Upper bound on the target's distance for the pruning test above
+  /// (infinity = no candidate is ever dropped even when prune_lb is set).
+  graph::Weight prune_budget = graph::kInfDistance;
+
   /// Safety valve: abort after this many global buckets (0 = unlimited).
   std::uint64_t max_buckets = 0;
 
@@ -114,6 +131,10 @@ struct SsspStats {
   std::uint64_t filtered_hub = 0;      ///< dropped by the hub mirror
   std::uint64_t filtered_coalesce = 0; ///< dropped by per-round dedup
   std::uint64_t frontier_broadcast = 0;///< vertices shipped by pull rounds
+  std::uint64_t pruned_expand = 0;     ///< vertices skipped by goal-directed
+                                       ///< pruning at expansion
+  std::uint64_t pruned_apply = 0;      ///< improving candidates dropped by
+                                       ///< goal-directed pruning
 
   std::uint64_t checkpoints = 0;       ///< snapshots taken this run
   std::uint64_t restores = 0;          ///< runs resumed from a snapshot
@@ -142,6 +163,8 @@ struct SsspStats {
     filtered_hub += other.filtered_hub;
     filtered_coalesce += other.filtered_coalesce;
     frontier_broadcast += other.frontier_broadcast;
+    pruned_expand += other.pruned_expand;
+    pruned_apply += other.pruned_apply;
     checkpoints += other.checkpoints;
     restores += other.restores;
     total_seconds += other.total_seconds;

@@ -20,6 +20,7 @@ ServingRunReport run_workload(simmpi::Comm& comm, const graph::DistGraph& g,
 
   ServingRunReport report;
   comm.barrier();
+  const std::uint64_t bytes_before = comm.stats().total_bytes();
   util::Timer timer;
   const std::uint64_t horizon = workload.config().ticks;
   for (std::uint64_t t = 0; t < horizon; ++t) {
@@ -38,6 +39,17 @@ ServingRunReport run_workload(simmpi::Comm& comm, const graph::DistGraph& g,
   report.wall_seconds = comm.allreduce_max(timer.seconds());
   report.ticks_run = end_tick;
   report.metrics = service->metrics();
+  // Global work totals (the per-rank metrics only hold this rank's share).
+  // The byte delta is read before these reductions so they don't count
+  // themselves.
+  const std::uint64_t bytes_mine = comm.stats().total_bytes() - bytes_before;
+  report.wire_bytes = comm.allreduce_sum(bytes_mine);
+  report.relax_generated =
+      comm.allreduce_sum(report.metrics.wave_relax_generated);
+  report.relax_sent = comm.allreduce_sum(report.metrics.wave_relax_sent);
+  report.pruned_expand =
+      comm.allreduce_sum(report.metrics.wave_pruned_expand);
+  report.pruned_apply = comm.allreduce_sum(report.metrics.wave_pruned_apply);
   return report;
 }
 

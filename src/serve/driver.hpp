@@ -22,6 +22,15 @@ struct ServingRunReport {
   std::uint64_t ticks_run = 0;  ///< arrival horizon plus the drain tail
   double wall_seconds = 0.0;    ///< serving loop only (graph build excluded)
 
+  /// Wire bytes all ranks moved during the serving loop (comm-stats delta
+  /// summed over ranks) — the cost side of the oracle's pruning ledger.
+  std::uint64_t wire_bytes = 0;
+  /// Engine work summed over ranks and over every wave of the run.
+  std::uint64_t relax_generated = 0;
+  std::uint64_t relax_sent = 0;
+  std::uint64_t pruned_expand = 0;
+  std::uint64_t pruned_apply = 0;
+
   [[nodiscard]] double throughput_qps() const noexcept {
     return wall_seconds > 0.0
                ? static_cast<double>(metrics.answered) / wall_seconds

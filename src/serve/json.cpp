@@ -34,6 +34,21 @@ util::Json to_json(const ServeConfig& config) {
   for (const auto f : config.facilities) facilities.push_back(f);
   j["facilities"] = std::move(facilities);
   j["sssp"] = core::to_json(config.sssp);
+  util::Json oracle = util::Json::object();
+  oracle["num_landmarks"] =
+      static_cast<std::uint64_t>(config.oracle.num_landmarks);
+  oracle["prune_slack"] = config.oracle.prune_slack;
+  j["oracle"] = std::move(oracle);
+  util::Json adaptive = util::Json::object();
+  adaptive["enabled"] = config.adaptive.enabled;
+  adaptive["min_batch"] = static_cast<std::uint64_t>(config.adaptive.min_batch);
+  adaptive["max_batch"] = static_cast<std::uint64_t>(config.adaptive.max_batch);
+  adaptive["min_wait_ticks"] = config.adaptive.min_wait_ticks;
+  adaptive["max_wait_ticks"] = config.adaptive.max_wait_ticks;
+  adaptive["target_wait_ticks"] = config.adaptive.target_wait_ticks;
+  adaptive["ewma_alpha"] = config.adaptive.ewma_alpha;
+  adaptive["adjust_period"] = config.adaptive.adjust_period;
+  j["adaptive"] = std::move(adaptive);
   return j;
 }
 
@@ -79,10 +94,22 @@ util::Json to_json(const ServiceMetrics& metrics) {
   j["slo_violations"] = metrics.slo_violations;
   j["batches"] = metrics.batches;
   j["waves"] = metrics.waves;
+  j["pruned_waves"] = metrics.pruned_waves;
   j["fetch_rounds"] = metrics.fetch_rounds;
   j["ticks"] = metrics.ticks;
+  j["oracle_exact"] = metrics.oracle_exact;
+  j["oracle_unreachable"] = metrics.oracle_unreachable;
+  j["adaptive_adjustments"] = metrics.adaptive_adjustments;
   j["wave_seconds"] = metrics.wave_seconds;
   j["fetch_seconds"] = metrics.fetch_seconds;
+  j["oracle_seconds"] = metrics.oracle_seconds;
+  j["wave_relax_generated"] = metrics.wave_relax_generated;
+  j["wave_relax_sent"] = metrics.wave_relax_sent;
+  j["wave_pruned_expand"] = metrics.wave_pruned_expand;
+  j["wave_pruned_apply"] = metrics.wave_pruned_apply;
+  j["oracle_landmarks"] = metrics.oracle_landmarks;
+  j["oracle_precompute_waves"] = metrics.oracle_precompute_waves;
+  j["oracle_precompute_seconds"] = metrics.oracle_precompute_seconds;
   j["latency_ticks"] = hist_with_percentiles(metrics.latency_ticks);
   j["batch_occupancy"] = hist_with_percentiles(metrics.batch_occupancy);
   j["queue_depth"] = hist_with_percentiles(metrics.queue_depth);
@@ -96,6 +123,11 @@ util::Json to_json(const ServingRunReport& report) {
   j["ticks_run"] = report.ticks_run;
   j["wall_seconds"] = report.wall_seconds;
   j["throughput_qps"] = report.throughput_qps();
+  j["wire_bytes"] = report.wire_bytes;
+  j["relax_generated"] = report.relax_generated;
+  j["relax_sent"] = report.relax_sent;
+  j["pruned_expand"] = report.pruned_expand;
+  j["pruned_apply"] = report.pruned_apply;
   j["metrics"] = to_json(report.metrics);
   return j;
 }

@@ -1,0 +1,131 @@
+// Landmark (ALT) distance oracle for the serving layer.
+//
+// A point-to-point query does not need a whole SSSP wave: with K landmark
+// vertices and their precomputed distance vectors, the triangle inequality
+// brackets any d(s, t) from 2K lookups —
+//
+//   lb(s, t) = max_k |d(L_k, s) - d(L_k, t)|     (admissible lower bound)
+//   ub(s, t) = min_k  d(L_k, s) + d(L_k, t)      (witness upper bound)
+//
+// — and the lower bound doubles as a goal-direction heuristic: a wave from
+// s may drop any relaxation whose tentative distance plus lb(v, t) exceeds
+// the best known ub(s, t), because no path through v can still improve the
+// target (the pruning hook in core::delta_stepping).  Bounds alone settle
+// three query classes outright: s == t, s a landmark (the precomputed wave
+// *is* the fresh wave from s, so the value is bit-identical), and pairs a
+// landmark proves to be in different components (one endpoint reachable
+// from L_k, the other not).
+//
+// Landmark selection is degree-weighted farthest-point refinement: the
+// seed is the global top-degree vertex (hub traffic makes it a good cover
+// of the core), then each further landmark is the vertex farthest from the
+// current set under one delta_stepping_multi wave, ties broken by higher
+// degree then lower id.  Every choice reduces over global data, so all
+// ranks agree without extra coordination.
+//
+// SPMD contract: the constructor and landmark_distances() are collective —
+// every rank must call them in lockstep with identical arguments.  Bound
+// math and lb slices are pure rank-local arithmetic on the fetched rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/delta_stepping.hpp"
+#include "core/sssp_types.hpp"
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::serve {
+
+struct OracleConfig {
+  /// Landmark count K.  0 disables the oracle at the service level; the
+  /// constructor itself requires K >= 1.  Clamped to the vertex count.
+  std::size_t num_landmarks = 0;
+
+  /// Relative safety margin for the goal-directed pruning test: lower
+  /// bounds are scaled by (1 - slack) and the budget by (1 + slack), so
+  /// float rounding accumulated along long paths can never prune a
+  /// relaxation the unpruned wave would have kept.  1/256 dwarfs the
+  /// worst-case accumulation at any materializable diameter while costing
+  /// a negligible slice of pruning power.
+  double prune_slack = 1.0 / 256.0;
+};
+
+class LandmarkOracle {
+ public:
+  /// Triangle-inequality verdict on one (s, t) pair.  When `exact` is set
+  /// the answer is `ub` verbatim and it is bit-identical to what a fresh
+  /// unpruned wave from s would report at t (0 for s == t, the landmark
+  /// slice value for s in the landmark set, infinity when `unreachable`).
+  struct Bounds {
+    graph::Weight lb = 0.0f;
+    graph::Weight ub = graph::kInfDistance;
+    bool exact = false;
+    bool unreachable = false;
+  };
+
+  /// Collective: selects the landmarks and runs one wave per landmark to
+  /// precompute this rank's owned distance slices.  `sssp` supplies the
+  /// engine knobs for those waves (any pruning fields are ignored).
+  LandmarkOracle(simmpi::Comm& comm, const graph::DistGraph& g,
+                 const OracleConfig& config, const core::SsspConfig& sssp);
+
+  /// Landmark-distance rows for `vertices`: out[i][k] = d(L_k,
+  /// vertices[i]).  One batched collective fetch for the whole list;
+  /// every rank must pass the identical list (duplicates fine).
+  [[nodiscard]] std::vector<std::vector<graph::Weight>> landmark_distances(
+      const std::vector<graph::VertexId>& vertices);
+
+  /// Bounds for (s, t) from rows previously fetched for both endpoints.
+  /// Pure local arithmetic.
+  [[nodiscard]] Bounds bounds(const std::vector<graph::Weight>& at_s,
+                              const std::vector<graph::Weight>& at_t,
+                              graph::VertexId s, graph::VertexId t) const;
+
+  /// This rank's owned lower-bound slice toward a target with landmark
+  /// row `at_t`: entry local(v) = max_k |d(L_k, v) - at_t[k]|, scaled by
+  /// (1 - prune_slack); infinite when some landmark proves v and the
+  /// target live in different components.  Feed to
+  /// core::SsspConfig::prune_lb.
+  [[nodiscard]] std::vector<graph::Weight> lb_slice(
+      const std::vector<graph::Weight>& at_t) const;
+
+  /// Loosen `slice` so it stays admissible for an additional target
+  /// (elementwise min with that target's bound) — lets one pruned wave
+  /// serve every target of a batched root group.
+  void min_into_lb_slice(std::vector<graph::Weight>& slice,
+                         const std::vector<graph::Weight>& at_t) const;
+
+  /// Pruning budget for an upper bound: ub * (1 + prune_slack).
+  [[nodiscard]] graph::Weight budget(graph::Weight ub) const;
+
+  [[nodiscard]] const std::vector<graph::VertexId>& landmarks()
+      const noexcept {
+    return landmarks_;
+  }
+
+  /// Waves spent selecting landmarks and precomputing slices.
+  [[nodiscard]] std::uint64_t precompute_waves() const noexcept {
+    return precompute_waves_;
+  }
+  [[nodiscard]] double precompute_seconds() const noexcept {
+    return precompute_seconds_;
+  }
+
+ private:
+  simmpi::Comm& comm_;
+  const graph::DistGraph& g_;
+  OracleConfig config_;
+  core::SsspConfig sssp_;  ///< wave knobs with pruning fields cleared
+
+  std::vector<graph::VertexId> landmarks_;
+  /// Per landmark, this rank's owned distance slice (indexed by local id).
+  std::vector<std::vector<graph::Weight>> slices_;
+
+  std::uint64_t precompute_waves_ = 0;
+  double precompute_seconds_ = 0.0;
+};
+
+}  // namespace g500::serve

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +9,11 @@
 #include "util/timer.hpp"
 
 namespace g500::serve {
+
+namespace {
+/// slot_of sentinel for queries the oracle settles without a fetch.
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
 
 DistanceService::DistanceService(simmpi::Comm& comm,
                                  const graph::DistGraph& g, ServeConfig config)
@@ -29,10 +35,22 @@ DistanceService::DistanceService(simmpi::Comm& comm,
       throw std::out_of_range("DistanceService: facility out of range");
     }
   }
+  // Pruning is owned by the service (per-batch bounds); a caller-supplied
+  // slice would dangle and poison every wave.
+  config_.sssp.prune_lb = nullptr;
+  config_.sssp.prune_budget = graph::kInfDistance;
+  if (config_.oracle.num_landmarks > 0) {
+    oracle_.emplace(comm_, g_, config_.oracle, config_.sssp);
+  }
+  if (config_.adaptive.enabled) {
+    controller_.emplace(config_.adaptive, config_.batch_size,
+                        config_.max_wait_ticks);
+  }
 }
 
 bool DistanceService::submit(const Query& q) {
-  ++metrics_.arrived;
+  // Validate before counting: a rejected query must leave every metric
+  // untouched or ranks that saw the throw disagree with ranks that did not.
   if (q.kind == QueryKind::kNearestFacility && config_.facilities.empty()) {
     throw std::invalid_argument(
         "DistanceService: nearest query without a facility set");
@@ -41,6 +59,8 @@ bool DistanceService::submit(const Query& q) {
       (q.kind == QueryKind::kPointToPoint && q.root >= g_.num_vertices)) {
     throw std::out_of_range("DistanceService: query vertex out of range");
   }
+  ++metrics_.arrived;
+  ++arrived_since_tick_;
   if (queue_.size() >= config_.queue_depth) {
     if (config_.shed_policy == ShedPolicy::kRejectNew) {
       ++metrics_.shed;
@@ -57,6 +77,13 @@ bool DistanceService::submit(const Query& q) {
   return true;
 }
 
+void DistanceService::note_wave(const core::SsspStats& stats) {
+  metrics_.wave_relax_generated += stats.relax_generated;
+  metrics_.wave_relax_sent += stats.relax_sent;
+  metrics_.wave_pruned_expand += stats.pruned_expand;
+  metrics_.wave_pruned_apply += stats.pruned_apply;
+}
+
 RootCache::Slice DistanceService::resolve(graph::VertexId key,
                                           bool* from_cache) {
   if (auto slice = cache_.lookup(key)) {
@@ -66,14 +93,16 @@ RootCache::Slice DistanceService::resolve(graph::VertexId key,
   *from_cache = false;
   util::Timer timer;
   core::SsspResult result;
+  core::SsspStats stats;
   if (key == facility_key()) {
     result = core::delta_stepping_multi(comm_, g_, config_.facilities,
-                                        config_.sssp);
+                                        config_.sssp, &stats);
   } else {
-    result = core::delta_stepping(comm_, g_, key, config_.sssp);
+    result = core::delta_stepping(comm_, g_, key, config_.sssp, &stats);
   }
   metrics_.wave_seconds += timer.seconds();
   ++metrics_.waves;
+  note_wave(stats);
   auto slice = std::make_shared<const std::vector<graph::Weight>>(
       std::move(result.dist));
   // Shared ownership keeps the slice alive for this batch's extraction
@@ -83,17 +112,30 @@ RootCache::Slice DistanceService::resolve(graph::VertexId key,
 }
 
 std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
+  if (last_now_ && now < *last_now_) {
+    throw std::invalid_argument(
+        "DistanceService: tick clock moved backwards");
+  }
+  last_now_ = now;
   ++metrics_.ticks;
+  if (controller_) {
+    // The controller sees the offered load (all arrivals since the last
+    // tick, shed included) — identical on every rank by the SPMD contract.
+    controller_->observe(arrived_since_tick_);
+    metrics_.adaptive_adjustments = controller_->adjustments();
+  }
+  arrived_since_tick_ = 0;
+  const std::size_t batch_limit = current_batch_size();
+  const std::uint64_t max_wait = current_max_wait_ticks();
   metrics_.queue_depth.add(queue_.size());
   if (queue_.empty()) return {};
 
-  const bool deadline =
-      now >= queue_.front().arrival_tick + config_.max_wait_ticks;
-  const bool full = queue_.size() >= config_.batch_size;
+  const bool deadline = now >= queue_.front().arrival_tick + max_wait;
+  const bool full = queue_.size() >= batch_limit;
   if (!flush && !deadline && !full) return {};
 
   // ---- form the batch (FIFO prefix) ----------------------------------
-  const std::size_t take = std::min(queue_.size(), config_.batch_size);
+  const std::size_t take = std::min(queue_.size(), batch_limit);
   std::vector<Query> batch(queue_.begin(),
                            queue_.begin() + static_cast<std::ptrdiff_t>(take));
   queue_.erase(queue_.begin(), queue_.begin() +
@@ -101,34 +143,128 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   ++metrics_.batches;
   metrics_.batch_occupancy.add(batch.size());
 
-  // ---- dedupe roots and resolve each group's distance slice ----------
+  // ---- oracle pass: bound every point-to-point pair ------------------
+  // One collective row fetch covers all distinct endpoints; the bound
+  // math itself is local.  Exact verdicts (s == t, landmark roots,
+  // proven-unreachable pairs) never reach the wave or fetch stages.
+  std::vector<LandmarkOracle::Bounds> verdict(batch.size());
+  std::vector<std::vector<graph::Weight>> rows;
+  std::vector<std::size_t> target_row(batch.size(), 0);
+  std::vector<char> direct(batch.size(), 0);
+  bool any_p2p = false;
+  if (oracle_) {
+    for (const auto& q : batch) {
+      if (q.kind == QueryKind::kPointToPoint) any_p2p = true;
+    }
+  }
+  if (oracle_ && any_p2p) {
+    util::Timer oracle_timer;
+    std::vector<graph::VertexId> verts;
+    const auto index_of = [&verts](graph::VertexId v) {
+      for (std::size_t j = 0; j < verts.size(); ++j) {
+        if (verts[j] == v) return j;
+      }
+      verts.push_back(v);
+      return verts.size() - 1;
+    };
+    std::vector<std::size_t> root_row(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind != QueryKind::kPointToPoint) continue;
+      root_row[i] = index_of(batch[i].root);
+      target_row[i] = index_of(batch[i].target);
+    }
+    rows = oracle_->landmark_distances(verts);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind != QueryKind::kPointToPoint) continue;
+      verdict[i] = oracle_->bounds(rows[root_row[i]], rows[target_row[i]],
+                                   batch[i].root, batch[i].target);
+      if (verdict[i].exact) {
+        direct[i] = 1;
+        ++metrics_.oracle_exact;
+        if (verdict[i].unreachable) ++metrics_.oracle_unreachable;
+      }
+    }
+    metrics_.oracle_seconds += oracle_timer.seconds();
+  }
+
+  // ---- dedupe the remaining queries by resolution key ----------------
   // First-appearance order keeps the collective sequence identical on
   // every rank.
   std::vector<graph::VertexId> keys;
-  std::vector<RootCache::Slice> slices;
-  std::vector<bool> cached;
-  std::vector<std::uint32_t> slot_of(batch.size());
+  std::vector<std::vector<std::size_t>> members;
+  std::vector<std::uint32_t> slot_of(batch.size(), kNoSlot);
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (direct[i]) continue;
     const graph::VertexId key = batch[i].kind == QueryKind::kNearestFacility
                                     ? facility_key()
                                     : batch[i].root;
     const auto it = std::find(keys.begin(), keys.end(), key);
     if (it == keys.end()) {
-      bool from_cache = false;
-      auto slice = resolve(key, &from_cache);
       slot_of[i] = static_cast<std::uint32_t>(keys.size());
       keys.push_back(key);
-      slices.push_back(std::move(slice));
-      cached.push_back(from_cache);
+      members.push_back({i});
     } else {
       slot_of[i] = static_cast<std::uint32_t>(it - keys.begin());
+      members[static_cast<std::size_t>(it - keys.begin())].push_back(i);
     }
   }
 
-  // ---- one batched exchange answers every query ----------------------
+  // ---- resolve each group's distance slice ---------------------------
+  std::vector<RootCache::Slice> slices;
+  std::vector<bool> cached;
+  std::vector<bool> pruned;
+  slices.reserve(keys.size());
+  for (std::size_t gi = 0; gi < keys.size(); ++gi) {
+    const graph::VertexId key = keys[gi];
+    const bool p2p = key != facility_key();
+    bool from_cache = false;
+    RootCache::Slice slice;
+    bool group_pruned = false;
+    if (!oracle_ || !p2p) {
+      slice = resolve(key, &from_cache);
+    } else if (auto hit = cache_.lookup(key)) {
+      from_cache = true;
+      slice = hit;
+    } else {
+      // Goal-directed pruned wave: admissible toward every target of the
+      // group (elementwise-min lb), budgeted by the loosest upper bound.
+      util::Timer oracle_timer;
+      auto lb = oracle_->lb_slice(rows[target_row[members[gi][0]]]);
+      graph::Weight budget = oracle_->budget(verdict[members[gi][0]].ub);
+      for (std::size_t m = 1; m < members[gi].size(); ++m) {
+        const std::size_t qi = members[gi][m];
+        oracle_->min_into_lb_slice(lb, rows[target_row[qi]]);
+        budget = std::max(budget, oracle_->budget(verdict[qi].ub));
+      }
+      metrics_.oracle_seconds += oracle_timer.seconds();
+      core::SsspConfig cfg = config_.sssp;
+      cfg.prune_lb = &lb;
+      cfg.prune_budget = budget;
+      util::Timer wave_timer;
+      core::SsspStats stats;
+      auto result = core::delta_stepping(comm_, g_, key, cfg, &stats);
+      metrics_.wave_seconds += wave_timer.seconds();
+      ++metrics_.waves;
+      ++metrics_.pruned_waves;
+      note_wave(stats);
+      // A pruned slice is exact only at (and within budget of) its
+      // targets — never cache it.
+      slice = std::make_shared<const std::vector<graph::Weight>>(
+          std::move(result.dist));
+      group_pruned = true;
+    }
+    slices.push_back(std::move(slice));
+    cached.push_back(from_cache);
+    pruned.push_back(group_pruned);
+  }
+
+  // ---- one batched exchange answers every remaining query ------------
   std::vector<core::SlotQuery> fetches;
+  std::vector<std::size_t> fetch_idx(batch.size(), 0);
   fetches.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (direct[i]) continue;
+    fetch_idx[i] = fetches.size();
     fetches.push_back(core::SlotQuery{slot_of[i], batch[i].target});
   }
   std::vector<const std::vector<graph::Weight>*> slots;
@@ -149,8 +285,14 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
     a.kind = batch[i].kind;
     a.root = batch[i].root;
     a.target = batch[i].target;
-    a.distance = distances[i];
-    a.from_cache = cached[slot_of[i]];
+    if (direct[i]) {
+      a.distance = verdict[i].ub;
+      a.from_oracle = true;
+    } else {
+      a.distance = distances[fetch_idx[i]];
+      a.from_cache = cached[slot_of[i]];
+      a.pruned_wave = pruned[slot_of[i]];
+    }
     a.arrival_tick = batch[i].arrival_tick;
     a.completion_tick = now;
     ++metrics_.answered;
@@ -175,6 +317,11 @@ std::vector<Answer> DistanceService::drain(std::uint64_t start_tick,
 
 const ServiceMetrics& DistanceService::metrics() {
   metrics_.cache = cache_.stats();
+  if (oracle_) {
+    metrics_.oracle_landmarks = oracle_->landmarks().size();
+    metrics_.oracle_precompute_waves = oracle_->precompute_waves();
+    metrics_.oracle_precompute_seconds = oracle_->precompute_seconds();
+  }
   return metrics_;
 }
 
@@ -182,6 +329,8 @@ void DistanceService::reset_metrics() {
   metrics_ = ServiceMetrics{};
   shed_log_.clear();
   cache_.reset_counters();
+  arrived_since_tick_ = 0;
+  last_now_.reset();
 }
 
 }  // namespace g500::serve

@@ -12,6 +12,16 @@
 //     one delta-stepping wave serves every query on that root, and all
 //     answers of a batch are extracted through a single batched
 //     value-fetch exchange (core::fetch_values_batched);
+//   * adaptive batching — optionally (ServeConfig::adaptive) the
+//     batch-size and deadline knobs track the observed arrival rate
+//     instead of staying fixed (adaptive.hpp);
+//   * landmark oracle — optionally (ServeConfig::oracle) point-to-point
+//     batches consult an ALT distance oracle first: triangle-inequality
+//     bounds answer s == t, landmark roots and proven-unreachable pairs
+//     outright, and every remaining cache-miss root dispatches a
+//     goal-directed *pruned* wave bounded by the oracle's lb/ub instead
+//     of a full one (oracle.hpp).  Pruned slices are exact at their
+//     targets but stale elsewhere, so they never enter the cache;
 //   * root-result cache — LRU over per-rank distance slices (cache.hpp),
 //     so popular roots skip the wave entirely;
 //   * SLO telemetry — latency (in ticks) histograms with interpolated
@@ -20,18 +30,22 @@
 // SPMD contract: construct one DistanceService per rank inside
 // World::run, feed every rank the identical submission sequence (the
 // deterministic serve::Workload guarantees this), and call tick() on all
-// ranks in lockstep — waves and fetches are collectives.  Nearest-
+// ranks in lockstep — waves and fetches are collectives, and with the
+// oracle enabled so is the constructor (landmark precompute).  Nearest-
 // facility queries are answered from one delta_stepping_multi wave over
 // the configured facility set, cached under a reserved key.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "core/delta_stepping.hpp"
 #include "graph/builder.hpp"
+#include "serve/adaptive.hpp"
 #include "serve/cache.hpp"
+#include "serve/oracle.hpp"
 #include "serve/workload.hpp"
 #include "simmpi/comm.hpp"
 #include "util/histogram.hpp"
@@ -52,6 +66,9 @@ struct ServeConfig {
   std::size_t cache_budget_bytes = std::size_t{1} << 20;  ///< per rank
   std::vector<graph::VertexId> facilities;  ///< nearest-query source set
   core::SsspConfig sssp;           ///< engine knobs for dispatched waves
+                                   ///< (pruning fields are service-managed)
+  OracleConfig oracle;             ///< num_landmarks > 0 enables the oracle
+  AdaptiveConfig adaptive;         ///< enabled = true activates the controller
 };
 
 /// One completed query.
@@ -62,16 +79,24 @@ struct Answer {
   graph::VertexId target = 0;
   graph::Weight distance = 0.0f;
   bool from_cache = false;
+  bool from_oracle = false;  ///< settled by landmark bounds, no wave or fetch
+  bool pruned_wave = false;  ///< answered by a goal-directed pruned wave
   std::uint64_t arrival_tick = 0;
   std::uint64_t completion_tick = 0;
+  /// Saturating: a flush can complete a query on an earlier tick than its
+  /// recorded arrival only if the caller's clocks disagree; report 0
+  /// rather than wrapping to ~2^64.
   [[nodiscard]] std::uint64_t latency_ticks() const noexcept {
-    return completion_tick - arrival_tick;
+    return completion_tick >= arrival_tick ? completion_tick - arrival_tick
+                                           : 0;
   }
 };
 
-/// Service counters.  Everything except the *_seconds fields is a pure
-/// function of the submission sequence and thus identical across ranks;
-/// the seconds are this rank's wall clock.
+/// Service counters.  Everything except the *_seconds fields and the
+/// wave work counters (wave_relax_* / wave_pruned_*, which count this
+/// rank's share of engine work — allreduce_sum for global totals) is a
+/// pure function of the submission sequence and thus identical across
+/// ranks.
 struct ServiceMetrics {
   std::uint64_t arrived = 0;
   std::uint64_t admitted = 0;
@@ -81,15 +106,34 @@ struct ServiceMetrics {
 
   std::uint64_t batches = 0;
   std::uint64_t waves = 0;         ///< delta-stepping waves dispatched
+  std::uint64_t pruned_waves = 0;  ///< subset of `waves` that ran pruned
   std::uint64_t fetch_rounds = 0;  ///< batched answer-extraction exchanges
   std::uint64_t ticks = 0;         ///< tick() calls observed
+
+  std::uint64_t oracle_exact = 0;        ///< answered outright by bounds
+  std::uint64_t oracle_unreachable = 0;  ///< subset proven unreachable
+  std::uint64_t adaptive_adjustments = 0;  ///< controller knob changes
 
   util::Log2Histogram latency_ticks;     ///< per answered query
   util::Log2Histogram batch_occupancy;   ///< queries per dispatched batch
   util::Log2Histogram queue_depth;       ///< sampled at every tick()
 
-  double wave_seconds = 0.0;   ///< rank-local time inside waves
-  double fetch_seconds = 0.0;  ///< rank-local time inside answer fetches
+  double wave_seconds = 0.0;    ///< rank-local time inside waves
+  double fetch_seconds = 0.0;   ///< rank-local time inside answer fetches
+  double oracle_seconds = 0.0;  ///< rank-local time in bound math / rows
+
+  /// This rank's engine work summed over every dispatched wave; the
+  /// pruned counters are what goal-direction saved.
+  std::uint64_t wave_relax_generated = 0;
+  std::uint64_t wave_relax_sent = 0;
+  std::uint64_t wave_pruned_expand = 0;
+  std::uint64_t wave_pruned_apply = 0;
+
+  /// Oracle precompute summary (refreshed from the oracle on read;
+  /// survives reset_metrics).
+  std::uint64_t oracle_landmarks = 0;
+  std::uint64_t oracle_precompute_waves = 0;
+  double oracle_precompute_seconds = 0.0;
 
   CacheStats cache;  ///< copied from the root cache on read
 };
@@ -97,7 +141,9 @@ struct ServiceMetrics {
 class DistanceService {
  public:
   /// `g` is this rank's graph piece; facilities (if any) are validated
-  /// against the vertex range here.
+  /// against the vertex range here.  When config.oracle.num_landmarks > 0
+  /// the constructor is collective: it runs the landmark selection and
+  /// precompute waves on every rank.
   DistanceService(simmpi::Comm& comm, const graph::DistGraph& g,
                   ServeConfig config);
 
@@ -105,14 +151,17 @@ class DistanceService {
   /// — but every rank must observe the same submission sequence).
   /// Returns false when the query was shed; with kDropOldest the
   /// displaced victim lands in shed_log() instead and this returns true.
+  /// An invalid query throws without touching any counter.
   bool submit(const Query& q);
 
   /// Advance the simulated clock to `now`: samples the queue depth and
   /// dispatches at most one micro-batch if the batch-size or deadline
   /// trigger fires (`flush` forces dispatch of any pending queries, used
   /// for draining).  Collective when a batch dispatches; every rank must
-  /// call tick() in lockstep with identical arguments.  Returns the
-  /// answers completed this tick, in batch order.
+  /// call tick() in lockstep with identical arguments.  `now` must never
+  /// move backwards across the service's lifetime (throws
+  /// std::invalid_argument; reset_metrics restarts the watermark).
+  /// Returns the answers completed this tick, in batch order.
   std::vector<Answer> tick(std::uint64_t now, bool flush = false);
 
   /// Run tick(now, flush=true) from `start_tick` until the queue is
@@ -129,14 +178,31 @@ class DistanceService {
     return shed_log_;
   }
 
-  /// Counters with the cache block refreshed.
+  /// Counters with the cache and oracle blocks refreshed.
   [[nodiscard]] const ServiceMetrics& metrics();
 
   /// Zero the counters and the shed log but keep the cache contents —
   /// the warm-up / measured-phase split every serving benchmark needs.
+  /// Also restarts the monotonic-clock watermark so the next measured
+  /// phase may begin again at tick 0.
   void reset_metrics();
 
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// The landmark oracle, or nullptr when disabled.
+  [[nodiscard]] const LandmarkOracle* oracle() const noexcept {
+    return oracle_ ? &*oracle_ : nullptr;
+  }
+
+  /// Dispatch knobs in effect for the next tick (fixed config values, or
+  /// the controller's when adaptive batching is enabled).
+  [[nodiscard]] std::size_t current_batch_size() const noexcept {
+    return controller_ ? controller_->batch_size() : config_.batch_size;
+  }
+  [[nodiscard]] std::uint64_t current_max_wait_ticks() const noexcept {
+    return controller_ ? controller_->max_wait_ticks()
+                       : config_.max_wait_ticks;
+  }
 
  private:
   /// Reserved cache key for the facility wave (delta_stepping_multi over
@@ -146,17 +212,25 @@ class DistanceService {
     return graph::kNoVertex;
   }
 
-  /// Slice for `key`, from cache or a fresh wave (collective on miss).
+  /// Slice for `key`, from cache or a fresh full wave (collective on
+  /// miss; the result is cached).
   [[nodiscard]] RootCache::Slice resolve(graph::VertexId key,
                                          bool* from_cache);
+
+  /// Accumulate one wave's engine counters into the metrics.
+  void note_wave(const core::SsspStats& stats);
 
   simmpi::Comm& comm_;
   const graph::DistGraph& g_;
   ServeConfig config_;
   RootCache cache_;
+  std::optional<LandmarkOracle> oracle_;
+  std::optional<AdaptiveBatchController> controller_;
   std::deque<Query> queue_;
   std::vector<Query> shed_log_;
   ServiceMetrics metrics_;
+  std::uint64_t arrived_since_tick_ = 0;  ///< controller observation window
+  std::optional<std::uint64_t> last_now_;  ///< monotonic-clock watermark
 };
 
 }  // namespace g500::serve

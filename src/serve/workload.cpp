@@ -50,19 +50,32 @@ Workload::Workload(WorkloadConfig config) : config_(std::move(config)) {
 }
 
 std::uint64_t Workload::poisson_count(std::uint64_t tick) const {
+  if (config_.arrivals_per_tick <= 0.0) return 0;
   // Knuth's product method on a per-tick engine: deterministic, and exact
-  // for the small lambdas a tick-granular workload uses.
+  // for small lambdas.  The product p underflows to 0 once -ln(p) passes
+  // ~745, so exp(-lambda) == 0 for lambda beyond that and the raw method
+  // would return a count pinned near 780 regardless of lambda.  Chunk the
+  // rate instead: Poisson(lambda) is the sum of ceil(lambda/32)
+  // independent Poisson(lambda/chunks) draws, each safely inside the
+  // product method's range (exp(-32) ~ 1e-14).  A single chunk reproduces
+  // the pre-chunking draw sequence exactly.
   util::SplitMix64 rng(
       util::hash64(config_.seed, kArrivalStream, tick));
-  const double limit = std::exp(-config_.arrivals_per_tick);
-  if (config_.arrivals_per_tick <= 0.0) return 0;
-  std::uint64_t k = 0;
-  double p = 1.0;
-  do {
-    ++k;
-    p *= rng.next_double();
-  } while (p > limit);
-  return k - 1;
+  const auto chunks = static_cast<std::uint64_t>(
+      std::ceil(config_.arrivals_per_tick / 32.0));
+  const double limit = std::exp(-config_.arrivals_per_tick /
+                                static_cast<double>(chunks));
+  std::uint64_t total = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng.next_double();
+    } while (p > limit);
+    total += k - 1;
+  }
+  return total;
 }
 
 std::vector<Query> Workload::arrivals(std::uint64_t tick) const {

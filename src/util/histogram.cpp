@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace g500::util {
@@ -10,6 +11,18 @@ namespace g500::util {
 namespace {
 std::size_t bucket_index(std::uint64_t value) {
   return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+}
+
+// Inclusive bounds of bucket i.  The top bucket (i == 63) spans up to
+// 2^64 - 1; computing its upper bound as (1 << 64) - 1 would be shift UB,
+// so it saturates instead.
+std::uint64_t bucket_lower(std::size_t i) {
+  return i == 0 ? 0 : std::uint64_t{1} << i;
+}
+
+std::uint64_t bucket_upper(std::size_t i) {
+  if (i + 1 >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << (i + 1)) - 1;
 }
 }  // namespace
 
@@ -42,13 +55,25 @@ double Log2Histogram::mean() const noexcept {
 std::uint64_t Log2Histogram::quantile_upper_bound(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) {
+    // The minimum lives in the first non-empty bucket; report its lower
+    // bound (a truncating rank would skip to that bucket's upper bound).
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] > 0) return bucket_lower(i);
+    }
+    return 0;
+  }
+  // Ceiling rank: the q-th sample is the smallest k with k >= q * count,
+  // so at least q of the mass is <= its bucket's upper bound.  Truncation
+  // would land one sample early (the median of 3 samples would resolve to
+  // the 1st sample's bucket).
   const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(count_));
+      std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target && buckets_[i] > 0) {
-      return i == 0 ? 1 : (std::uint64_t{1} << (i + 1)) - 1;
+      return i == 0 ? 1 : bucket_upper(i);
     }
   }
   return max_;
@@ -87,8 +112,8 @@ std::string Log2Histogram::to_string(std::size_t bar_width) const {
   for (auto b : buckets_) peak = std::max(peak, b);
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
-    const std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << i);
-    const std::uint64_t hi = (std::uint64_t{1} << (i + 1)) - 1;
+    const std::uint64_t lo = bucket_lower(i);
+    const std::uint64_t hi = bucket_upper(i);
     const auto bar = static_cast<std::size_t>(
         peak == 0 ? 0
                   : (static_cast<double>(buckets_[i]) /

@@ -22,7 +22,10 @@ class Log2Histogram {
   [[nodiscard]] double mean() const noexcept;
 
   /// Smallest v such that >= q of the mass is <= v, estimated from buckets
-  /// (upper bucket bound).  q in [0,1].
+  /// (upper bucket bound).  q in [0,1].  The rank is ceil(q * count) — the
+  /// median of 3 samples resolves to the 2nd sample's bucket — and q = 0
+  /// reports the lower bound of the first non-empty bucket (the minimum's
+  /// bucket).  The top bucket's upper bound saturates at 2^64 - 1.
   [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const;
 
   /// Interpolated quantile estimate: mass is assumed uniform within each

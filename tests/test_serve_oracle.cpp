@@ -1,0 +1,303 @@
+// Landmark (ALT) oracle and adaptive-batching tests: triangle-inequality
+// bounds must bracket the true distance on every graph shape, answers
+// served through goal-directed pruned waves must stay bit-identical to
+// unpruned ones, cross-component pairs must be settled without a wave,
+// and the batch controller must converge on step-change arrival rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/delta_stepping.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "serve/adaptive.hpp"
+#include "serve/driver.hpp"
+#include "serve/oracle.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using serve::AdaptiveBatchController;
+using serve::AdaptiveConfig;
+using serve::DistanceService;
+using serve::LandmarkOracle;
+using serve::OracleConfig;
+using serve::Query;
+using serve::QueryKind;
+using serve::ServeConfig;
+
+graph::DistGraph build_test_graph(simmpi::Comm& comm,
+                                  const graph::EdgeList& list) {
+  return graph::build_distributed(
+      comm, graph::slice_for_rank(list, comm.rank(), comm.size()),
+      list.num_vertices);
+}
+
+/// Loose float slack for soundness checks: the bounds hold exactly in the
+/// metric, but engine distances carry per-hop rounding.
+constexpr float kTol = 1e-4f;
+
+/// lb <= d(s, t) <= ub for every pair on path, ring, star, grid and
+/// random shapes — the shapes stress diameter, hub skew and disconnection
+/// differently.
+TEST(ServeOracle, BoundsSoundOnEveryShape) {
+  const std::vector<graph::EdgeList> shapes = {
+      graph::path_graph(48, 3),      graph::ring_graph(40, 5),
+      graph::star_graph(33, 7),      graph::grid_graph(6, 8, 9),
+      graph::random_graph(64, 200, 11)};
+  for (const auto& list : shapes) {
+    simmpi::World world(3);
+    world.run([&](simmpi::Comm& comm) {
+      const auto g = build_test_graph(comm, list);
+      OracleConfig oc;
+      oc.num_landmarks = 4;
+      LandmarkOracle oracle(comm, g, oc, {});
+      ASSERT_GE(oracle.landmarks().size(), 1u);
+
+      // Ground truth from full waves rooted at a few sources.
+      const std::vector<graph::VertexId> sources = {0, list.num_vertices / 2,
+                                                    list.num_vertices - 1};
+      std::vector<graph::VertexId> verts;
+      for (graph::VertexId v = 0; v < list.num_vertices; ++v) {
+        verts.push_back(v);
+      }
+      const auto rows = oracle.landmark_distances(verts);
+      for (const auto s : sources) {
+        const auto mine = core::delta_stepping(comm, g, s);
+        const auto want = core::gather_result(comm, g, mine);
+        for (graph::VertexId t = 0; t < list.num_vertices; ++t) {
+          const auto b = oracle.bounds(rows[s], rows[t], s, t);
+          const float d = want.dist[t];
+          if (std::isinf(d)) {
+            // Any finite upper bound would witness a path that isn't there.
+            EXPECT_TRUE(std::isinf(b.ub)) << "s=" << s << " t=" << t;
+          } else {
+            EXPECT_LE(b.lb, d + d * kTol + kTol) << "s=" << s << " t=" << t;
+            EXPECT_GE(b.ub, d - d * kTol - kTol) << "s=" << s << " t=" << t;
+            EXPECT_FALSE(b.unreachable) << "s=" << s << " t=" << t;
+          }
+          if (b.exact) {
+            EXPECT_EQ(b.ub, d) << "exact hit must be bit-identical, s=" << s
+                               << " t=" << t;
+          }
+        }
+      }
+    });
+  }
+}
+
+/// A service with the oracle enabled must return the same bits as one
+/// without it — goal-directed pruning may skip work, never change the
+/// answer — while actually pruning relaxations.
+TEST(ServeOracle, PrunedAnswersBitIdenticalToFullWaves) {
+  const auto list = graph::random_graph(160, 640, 21);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    serve::WorkloadConfig wl;
+    wl.seed = 13;
+    wl.ticks = 12;
+    wl.arrivals_per_tick = 2.0;
+    wl.zipf_s = 0.0;  // uniform over a wide universe: mostly cold queries
+    for (graph::VertexId v = 0; v < g.num_vertices; v += 5) {
+      wl.roots.push_back(v);
+    }
+    wl.num_vertices = g.num_vertices;
+    const serve::Workload workload(wl);
+
+    ServeConfig off;
+    off.cache_budget_bytes = 0;  // every answer from a fresh wave
+    off.queue_depth = 256;
+    ServeConfig on = off;
+    on.oracle.num_landmarks = 6;
+
+    const auto full = serve::run_workload(comm, g, off, workload, true);
+    const auto pruned = serve::run_workload(comm, g, on, workload, true);
+    ASSERT_EQ(full.answers.size(), pruned.answers.size());
+    ASSERT_GT(full.answers.size(), 0u);
+    for (std::size_t i = 0; i < full.answers.size(); ++i) {
+      EXPECT_EQ(full.answers[i].id, pruned.answers[i].id);
+      EXPECT_EQ(full.answers[i].distance, pruned.answers[i].distance)
+          << "query " << full.answers[i].id << " root "
+          << full.answers[i].root << " target " << full.answers[i].target
+          << " pruned_wave " << pruned.answers[i].pruned_wave
+          << " from_oracle " << pruned.answers[i].from_oracle;
+    }
+    // The oracle run must really have gone goal-directed...
+    EXPECT_GT(pruned.metrics.pruned_waves, 0u);
+    EXPECT_GT(pruned.pruned_expand + pruned.pruned_apply, 0u);
+    // ...and pruned waves generate strictly less relaxation work.
+    EXPECT_LT(pruned.relax_generated, full.relax_generated);
+  });
+}
+
+/// Queries whose root is a landmark are answered from the precomputed
+/// slice without dispatching any wave, bit-identical to a fresh one.
+TEST(ServeOracle, LandmarkRootsAnsweredWithoutAWave) {
+  const auto list = graph::random_graph(96, 400, 33);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.oracle.num_landmarks = 4;
+    config.cache_budget_bytes = 0;
+    DistanceService service(comm, g, config);
+    ASSERT_NE(service.oracle(), nullptr);
+    const auto landmarks = service.oracle()->landmarks();
+    ASSERT_GE(landmarks.size(), 1u);
+
+    Query q;
+    q.root = landmarks[0];
+    q.target = 7;
+    ASSERT_TRUE(service.submit(q));
+    const auto answers = service.drain(0);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_TRUE(answers[0].from_oracle);
+
+    const auto mine = core::delta_stepping(comm, g, landmarks[0]);
+    const auto want = core::gather_result(comm, g, mine);
+    EXPECT_EQ(answers[0].distance, want.dist[7]);
+    EXPECT_EQ(service.metrics().waves, 0u);
+    EXPECT_GT(service.metrics().oracle_exact, 0u);
+  });
+}
+
+/// Cross-component pairs are proven unreachable by the landmark rows and
+/// never dispatch a wave.
+TEST(ServeOracle, DisconnectedPairsSettledWithoutAWave) {
+  // Two disjoint paths: 0..15 and 16..31.
+  graph::EdgeList list = graph::path_graph(16, 5);
+  const auto other = graph::path_graph(16, 6);
+  for (auto e : other.edges) {
+    e.src += 16;
+    e.dst += 16;
+    list.edges.push_back(e);
+  }
+  list.num_vertices = 32;
+
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.oracle.num_landmarks = 3;  // farthest-point seeds both components
+    config.cache_budget_bytes = 0;
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.id = 1;
+    q.root = 2;    // first component
+    q.target = 20; // second component
+    ASSERT_TRUE(service.submit(q));
+    const auto answers = service.drain(0);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_TRUE(answers[0].from_oracle);
+    EXPECT_TRUE(std::isinf(answers[0].distance));
+    EXPECT_EQ(service.metrics().waves, 0u);
+    EXPECT_EQ(service.metrics().oracle_unreachable, 1u);
+  });
+}
+
+/// The controller must track a step change in the arrival rate: knobs
+/// sized for the low regime before the step, for the high regime after.
+TEST(ServeOracle, AdaptiveControllerConvergesOnStepChange) {
+  AdaptiveConfig cfg;
+  cfg.enabled = true;
+  cfg.min_batch = 1;
+  cfg.max_batch = 32;
+  cfg.min_wait_ticks = 1;
+  cfg.max_wait_ticks = 16;
+  cfg.target_wait_ticks = 4.0;
+  AdaptiveBatchController ctl(cfg, 8, 4);
+
+  for (int i = 0; i < 40; ++i) ctl.observe(2);
+  EXPECT_NEAR(ctl.rate(), 2.0, 0.05);
+  EXPECT_EQ(ctl.batch_size(), 8u);        // 2/tick * 4 ticks
+  EXPECT_EQ(ctl.max_wait_ticks(), 4u);    // 8 / 2 per tick
+
+  for (int i = 0; i < 40; ++i) ctl.observe(16);
+  EXPECT_NEAR(ctl.rate(), 16.0, 0.5);
+  EXPECT_EQ(ctl.batch_size(), 32u);       // 16 * 4 = 64, clamped to max
+  EXPECT_EQ(ctl.max_wait_ticks(), 2u);    // 32 / 16 per tick
+  EXPECT_GE(ctl.adjustments(), 2u);
+
+  // Silence: the rate decays and the deadline stretches to its cap.
+  for (int i = 0; i < 200; ++i) ctl.observe(0);
+  EXPECT_EQ(ctl.batch_size(), 1u);
+  EXPECT_EQ(ctl.max_wait_ticks(), 16u);
+}
+
+TEST(ServeOracle, AdaptiveControllerValidatesConfig) {
+  AdaptiveConfig cfg;
+  cfg.min_batch = 0;
+  EXPECT_THROW(AdaptiveBatchController(cfg, 1, 1), std::invalid_argument);
+  cfg = {};
+  cfg.min_batch = 8;
+  cfg.max_batch = 4;
+  EXPECT_THROW(AdaptiveBatchController(cfg, 1, 1), std::invalid_argument);
+  cfg = {};
+  cfg.ewma_alpha = 0.0;
+  EXPECT_THROW(AdaptiveBatchController(cfg, 1, 1), std::invalid_argument);
+  cfg = {};
+  cfg.adjust_period = 0;
+  EXPECT_THROW(AdaptiveBatchController(cfg, 1, 1), std::invalid_argument);
+  cfg = {};
+  cfg.target_wait_ticks = 0.0;
+  EXPECT_THROW(AdaptiveBatchController(cfg, 1, 1), std::invalid_argument);
+}
+
+/// End-to-end: an adaptive service answers the whole workload and its
+/// knob trajectory agrees across ranks (it is a pure function of the
+/// shared submission sequence).
+TEST(ServeOracle, AdaptiveServiceAnswersEverythingConsistently) {
+  const auto list = graph::random_graph(80, 320, 19);
+  const int ranks = 3;
+  std::vector<std::vector<std::uint64_t>> per_rank(ranks);
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    serve::WorkloadConfig wl;
+    wl.seed = 23;
+    wl.ticks = 24;
+    wl.arrivals_per_tick = 6.0;
+    wl.roots = {1, 9, 17, 33};
+    wl.num_vertices = g.num_vertices;
+    ServeConfig config;
+    config.queue_depth = 512;
+    config.adaptive.enabled = true;
+    config.adaptive.max_batch = 64;
+    const auto run = serve::run_workload(comm, g, config, serve::Workload(wl));
+    EXPECT_EQ(run.metrics.answered, run.metrics.admitted);
+    per_rank[static_cast<std::size_t>(comm.rank())] = {
+        run.metrics.answered, run.metrics.batches, run.metrics.waves,
+        run.metrics.adaptive_adjustments};
+  });
+  for (int r = 1; r < ranks; ++r) {
+    EXPECT_EQ(per_rank[static_cast<std::size_t>(r)], per_rank[0])
+        << "rank " << r;
+  }
+}
+
+/// The oracle constructor rejects nonsense configurations.
+TEST(ServeOracle, ValidatesConfig) {
+  const auto list = graph::path_graph(8, 2);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    OracleConfig bad;
+    bad.num_landmarks = 0;
+    EXPECT_THROW(LandmarkOracle(comm, g, bad, {}), std::invalid_argument);
+    bad.num_landmarks = 2;
+    bad.prune_slack = 1.5;
+    EXPECT_THROW(LandmarkOracle(comm, g, bad, {}), std::invalid_argument);
+  });
+}
+
+}  // namespace

@@ -317,6 +317,67 @@ TEST(ServeService, ValidatesQueriesAndConfig) {
   });
 }
 
+// Regression: submit() bumped `arrived` before validating, so a rejected
+// query still counted — and on an SPMD run only the ranks that caught the
+// throw kept going, with metrics permanently skewed from the rest.
+TEST(ServeService, RejectedSubmissionLeavesMetricsUntouched) {
+  const auto list = graph::path_graph(8, 2);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    DistanceService service(comm, g, ServeConfig{});
+    Query bad;
+    bad.root = g.num_vertices;  // out of range
+    EXPECT_THROW(service.submit(bad), std::out_of_range);
+    EXPECT_EQ(service.metrics().arrived, 0u);
+
+    Query good;
+    good.root = 0;
+    good.target = 3;
+    ASSERT_TRUE(service.submit(good));
+    EXPECT_EQ(service.metrics().arrived, 1u);
+    EXPECT_EQ(service.metrics().admitted, 1u);
+  });
+}
+
+// The simulated clock must never move backwards: a stale `now` would make
+// latency_ticks underflow to ~2^64 and poison the histograms.
+TEST(ServeService, BackwardsClockIsRejected) {
+  const auto list = graph::path_graph(8, 2);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    DistanceService service(comm, g, ServeConfig{});
+    (void)service.tick(5);
+    (void)service.tick(5);  // equal is fine
+    EXPECT_THROW(service.tick(4), std::invalid_argument);
+    // reset_metrics restarts the watermark for a new measured phase.
+    service.reset_metrics();
+    (void)service.tick(0);
+  });
+}
+
+// A flush can complete a query whose recorded arrival tick lies beyond
+// the drain clock; latency saturates at 0 instead of wrapping.
+TEST(ServeService, LatencySaturatesWhenCompletionPrecedesArrival) {
+  const auto list = graph::path_graph(8, 2);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    DistanceService service(comm, g, ServeConfig{});
+    Query q;
+    q.root = 0;
+    q.target = 4;
+    q.arrival_tick = 100;  // claims to arrive in the future
+    ASSERT_TRUE(service.submit(q));
+    const auto answers = service.drain(0);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_EQ(answers[0].latency_ticks(), 0u);
+    EXPECT_EQ(service.metrics().slo_violations, 0u);
+    EXPECT_LE(service.metrics().latency_ticks.max_value(), 0u);
+  });
+}
+
 TEST(ServeService, RunReportJsonCarriesTheSchema) {
   const auto list = graph::random_graph(48, 192, 8);
   simmpi::World world(2);
@@ -338,11 +399,17 @@ TEST(ServeService, RunReportJsonCarriesTheSchema) {
     EXPECT_TRUE(j.contains("ticks_run"));
     EXPECT_TRUE(j.contains("wall_seconds"));
     EXPECT_TRUE(j.contains("throughput_qps"));
+    for (const auto* key : {"wire_bytes", "relax_generated", "relax_sent",
+                            "pruned_expand", "pruned_apply"}) {
+      EXPECT_TRUE(j.contains(key)) << key;
+    }
     ASSERT_TRUE(j.contains("metrics"));
     const auto& m = j.at("metrics");
     for (const auto* key :
          {"arrived", "admitted", "shed", "shed_rate", "answered",
-          "slo_violations", "batches", "waves", "fetch_rounds",
+          "slo_violations", "batches", "waves", "pruned_waves",
+          "fetch_rounds", "oracle_exact", "oracle_unreachable",
+          "adaptive_adjustments", "wave_relax_generated", "oracle_seconds",
           "latency_ticks", "queue_depth", "cache"}) {
       EXPECT_TRUE(m.contains(key)) << key;
     }
@@ -358,7 +425,7 @@ TEST(ServeService, RunReportJsonCarriesTheSchema) {
     const auto cfg = serve::to_json(config);
     for (const auto* key : {"queue_depth", "batch_size", "max_wait_ticks",
                             "shed_policy", "slo_ticks", "cache_budget_bytes",
-                            "facilities", "sssp"}) {
+                            "facilities", "sssp", "oracle", "adaptive"}) {
       EXPECT_TRUE(cfg.contains(key)) << key;
     }
     const auto wj = serve::to_json(wl);

@@ -152,6 +152,23 @@ TEST(ServeWorkload, NearestFractionMixesKinds) {
   }
 }
 
+// Regression: the unchunked Knuth product method underflows for large
+// lambdas — exp(-1000) rounds to 0, the product loop only terminates when
+// its running product underflows (~780 iterations), and every tick drew
+// ~780 arrivals no matter the configured rate.  Chunking the rate keeps
+// the sample mean tracking lambda.
+TEST(ServeWorkload, PoissonMeanTracksLargeLambda) {
+  auto c = base_config();
+  c.ticks = 256;
+  c.arrivals_per_tick = 1000.0;
+  const Workload w(c);
+  const double mean =
+      static_cast<double>(w.trace().size()) / static_cast<double>(c.ticks);
+  // 256 ticks of Poisson(1000): sample mean within ~4 sigma of 1000 —
+  // the pre-fix generator sat pinned near 780.
+  EXPECT_NEAR(mean, 1000.0, 4.0 * std::sqrt(1000.0 / 256.0));
+}
+
 TEST(ServeWorkload, RejectsInvalidConfig) {
   auto c = base_config();
   c.ticks = 0;

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -144,6 +146,42 @@ TEST(Log2Histogram, ToStringMentionsBuckets) {
   h.add(3);
   const std::string s = h.to_string();
   EXPECT_NE(s.find("[2, 3]"), std::string::npos);
+}
+
+// Regression: a truncating rank resolved the median of {1, 8, 8} to the
+// first sample's bucket (upper bound 1); the q-th sample is the smallest
+// rank k >= q * count, so the median is the second sample — bucket [8, 15].
+TEST(Log2Histogram, QuantileUpperBoundUsesCeilingRank) {
+  Log2Histogram h;
+  h.add(1);
+  h.add(8);
+  h.add(8);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 15u);
+  // And the rank-1 sample (any q reaching only the first sample) still
+  // resolves to the first bucket.
+  EXPECT_EQ(h.quantile_upper_bound(0.25), 1u);
+}
+
+// Regression: q == 0 used to fall through with target rank 0 and report
+// the first non-empty bucket's *upper* bound; the minimum can be no
+// larger than that bucket's lower bound.
+TEST(Log2Histogram, QuantileZeroReportsMinimumBucketLowerBound) {
+  Log2Histogram h;
+  h.add(8);
+  h.add(9);
+  EXPECT_EQ(h.quantile_upper_bound(0.0), 8u);
+}
+
+// Regression: a sample in the top bucket (bit 63 set) made the quantile
+// and to_string compute 1 << 64 — shift UB.  The top bucket's upper bound
+// saturates at 2^64 - 1 instead.
+TEST(Log2Histogram, TopBucketSaturatesInsteadOfShiftOverflow) {
+  Log2Histogram h;
+  h.add(std::uint64_t{1} << 63);
+  EXPECT_EQ(h.quantile_upper_bound(1.0),
+            std::numeric_limits<std::uint64_t>::max());
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("18446744073709551615"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- Table
