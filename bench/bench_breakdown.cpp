@@ -2,10 +2,15 @@
 //
 // Where one SSSP spends its effort: light vs heavy phases, rounds per
 // bucket, and the distribution of frontier sizes per inner round (the
-// histogram that motivates direction switching).
+// histogram that motivates direction switching).  Also runs the async-vs-
+// sync comparison and GATES it: the barrier-free engine must reproduce the
+// synchronous distances bit-for-bit while issuing strictly fewer global
+// collectives, or this harness exits nonzero.
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "core/async_delta_stepping.hpp"
 #include "util/options.hpp"
 
 int main(int argc, char** argv) {
@@ -107,7 +112,97 @@ int main(int argc, char** argv) {
   }
   std::cout << "Expected shape: a few giant-frontier rounds hold most "
                "vertices (pull territory),\na long tail of tiny rounds "
-               "(latency territory); light phase dominates heavy.\n";
+               "(latency territory); light phase dominates heavy.\n\n";
+
+  // --- Async vs sync (gated) -------------------------------------------
+  // Same graph, same roots: run both engines back to back on every rank,
+  // compare the owned distance slices byte-for-byte, and compare collective
+  // round counts.  The acceptance bar: bit-identical distances, strictly
+  // fewer global collectives.
+  bool bit_identical = false;
+  std::uint64_t p2p_bytes = 0;
+  core::SsspStats sync_stats;
+  core::SsspStats async_stats;
+  {
+    simmpi::World world(ranks);
+    world.run([&](simmpi::Comm& comm) {
+      const graph::DistGraph g = graph::build_kronecker(comm, params);
+      const auto roots = core::sample_roots(comm, g, 3, 0x9500);
+      bool mismatch = false;
+      core::SsspStats merged_sync;
+      core::SsspStats merged_async;
+      for (const auto root : roots) {
+        core::SsspStats s;
+        core::SsspStats a;
+        const auto sync_result =
+            core::delta_stepping(comm, g, root, {}, &s);
+        const auto async_result =
+            core::async_delta_stepping(comm, g, root, {}, &a);
+        mismatch = mismatch ||
+                   sync_result.dist.size() != async_result.dist.size() ||
+                   std::memcmp(sync_result.dist.data(),
+                               async_result.dist.data(),
+                               sync_result.dist.size() *
+                                   sizeof(graph::Weight)) != 0;
+        merged_sync.merge(s);
+        merged_async.merge(a);
+      }
+      mismatch = comm.allreduce_or(mismatch);
+      const auto gs = core::global_stats(comm, merged_sync);
+      const auto ga = core::global_stats(comm, merged_async);
+      if (comm.rank() == 0) {
+        bit_identical = !mismatch;
+        sync_stats = gs;
+        async_stats = ga;
+      }
+    });
+    p2p_bytes = world.p2p_summary().bytes;
+  }
+  const bool fewer_collectives =
+      async_stats.global_collectives < sync_stats.global_collectives;
+
+  util::Table async_table({"metric", "sync", "async"});
+  async_table.row()
+      .add("global collectives")
+      .add(sync_stats.global_collectives)
+      .add(async_stats.global_collectives);
+  async_table.row()
+      .add("sub-rounds (mean/rank)")
+      .add(sync_stats.sub_rounds)
+      .add(async_stats.sub_rounds);
+  async_table.row()
+      .add("relax applied")
+      .add_si(static_cast<double>(sync_stats.relax_applied))
+      .add_si(static_cast<double>(async_stats.relax_applied));
+  async_table.row()
+      .add("aggregator flushes (cap/timeout)")
+      .add("-")
+      .add(std::to_string(async_stats.aggregator_flush_capacity) + "/" +
+           std::to_string(async_stats.aggregator_flush_timeout));
+  async_table.row()
+      .add("bit-identical distances")
+      .add("-")
+      .add(bit_identical ? "yes" : "NO");
+  async_table.print(std::cout, "async vs sync (3 roots)");
+
+  {
+    util::Json a = util::Json::object();
+    a["sync_collectives"] = sync_stats.global_collectives;
+    a["async_collectives"] = async_stats.global_collectives;
+    a["fewer_collectives"] = fewer_collectives;
+    a["bit_identical"] = bit_identical;
+    a["flush_capacity"] = async_stats.aggregator_flush_capacity;
+    a["flush_timeout"] = async_stats.aggregator_flush_timeout;
+    a["p2p_bytes"] = p2p_bytes;
+    report.doc()["async"] = std::move(a);
+  }
+
   bench::write_report(report, table);
+  if (!bit_identical || !fewer_collectives) {
+    std::cerr << "ASYNC GATE FAILED: bit_identical="
+              << (bit_identical ? "yes" : "no") << " fewer_collectives="
+              << (fewer_collectives ? "yes" : "no") << "\n";
+    return 1;
+  }
   return 0;
 }

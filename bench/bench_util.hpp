@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/async_delta_stepping.hpp"
 #include "core/bellman_ford.hpp"
 #include "core/delta_stepping.hpp"
 #include "core/json.hpp"
@@ -50,9 +51,14 @@ struct Measurement {
   double teps = 0.0;           ///< input edges / seconds
   bool valid = false;
   core::SsspStats stats;       ///< aggregated over ranks (global_stats)
-  std::uint64_t wire_bytes = 0;      ///< alltoallv+allgather payload (solve only)
+  std::uint64_t wire_bytes = 0;      ///< all payload on the wire (solve only)
   std::uint64_t wire_messages = 0;   ///< point-to-point messages implied
   std::uint64_t rounds = 0;          ///< collective rounds of the solve
+  /// The sync/async wire split (wire_bytes = collective + p2p): collective
+  /// payload vs aggregated parcel payload, and the parcels that carried it.
+  std::uint64_t collective_bytes = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t p2p_flushes = 0;     ///< remote parcels deposited
 };
 
 /// Measurement -> telemetry object (docs/telemetry.md "measurement").
@@ -65,6 +71,9 @@ inline util::Json to_json(const Measurement& m) {
   j["wire_bytes"] = m.wire_bytes;
   j["wire_messages"] = m.wire_messages;
   j["rounds"] = m.rounds;
+  j["collective_bytes"] = m.collective_bytes;
+  j["p2p_bytes"] = m.p2p_bytes;
+  j["p2p_flushes"] = m.p2p_flushes;
   j["sssp_stats"] = core::to_json(m.stats);
   return j;
 }
@@ -163,7 +172,7 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
     const auto roots = core::sample_roots(comm, g, roots_count, 0x9500);
 
     struct Snap {
-      std::uint64_t bytes, messages, rounds;
+      std::uint64_t bytes, messages, rounds, p2p_bytes, p2p_flushes;
     };
     const auto snapshot = [&comm] {
       const auto& s = comm.stats();
@@ -171,22 +180,26 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
       return Snap{
           comm.allreduce_sum(s.alltoallv.bytes + s.allgather.bytes +
                              s.allreduce.bytes),
-          comm.allreduce_sum(s.alltoallv.messages + s.allgather.messages),
+          comm.allreduce_sum(s.alltoallv.messages + s.allgather.messages +
+                             s.p2p.messages),
           comm.allreduce_max(s.alltoallv.calls + s.allgather.calls +
                              s.allreduce.calls + s.broadcast.calls +
-                             s.barriers)};
+                             s.barriers),
+          comm.allreduce_sum(s.p2p.bytes), comm.allreduce_sum(s.p2p.calls)};
     };
-    // A snapshot itself runs three allreduces; measure that once so each
+    // A snapshot itself runs five allreduces; measure that once so each
     // bracketed delta below can subtract its own bracket's cost.
     const auto probe0 = snapshot();
     const auto probe1 = snapshot();
     const Snap snap_cost{probe1.bytes - probe0.bytes,
                          probe1.messages - probe0.messages,
-                         probe1.rounds - probe0.rounds};
+                         probe1.rounds - probe0.rounds,
+                         probe1.p2p_bytes - probe0.p2p_bytes,
+                         probe1.p2p_flushes - probe0.p2p_flushes};
 
     double seconds = 0.0;
     core::SsspStats merged;
-    Snap wire{0, 0, 0};
+    Snap wire{0, 0, 0, 0, 0};
     for (const auto root : roots) {
       core::SsspStats local;
       comm.barrier();
@@ -196,6 +209,9 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
       switch (algorithm) {
         case core::Algorithm::kDeltaStepping:
           mine = core::delta_stepping(comm, g, root, config, &local);
+          break;
+        case core::Algorithm::kAsyncDeltaStepping:
+          mine = core::async_delta_stepping(comm, g, root, config, &local);
           break;
         case core::Algorithm::kBellmanFord:
           mine = core::bellman_ford(comm, g, root, config, &local);
@@ -214,6 +230,10 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
       wire.bytes += after.bytes - before.bytes - snap_cost.bytes;
       wire.messages += after.messages - before.messages - snap_cost.messages;
       wire.rounds += after.rounds - before.rounds - snap_cost.rounds;
+      wire.p2p_bytes += after.p2p_bytes - before.p2p_bytes -
+                        snap_cost.p2p_bytes;
+      wire.p2p_flushes += after.p2p_flushes - before.p2p_flushes -
+                          snap_cost.p2p_flushes;
       if (validate) {
         const auto verdict = core::validate_sssp(comm, g, root, mine);
         if (comm.rank() == 0 && !verdict.ok) {
@@ -231,7 +251,10 @@ inline Measurement measure_sssp(const graph::KroneckerParams& params,
       m.seconds = seconds / static_cast<double>(roots.size());
       m.teps = static_cast<double>(g.num_input_edges) / m.seconds;
       m.stats = total;
-      m.wire_bytes = wire.bytes;
+      m.collective_bytes = wire.bytes;
+      m.p2p_bytes = wire.p2p_bytes;
+      m.p2p_flushes = wire.p2p_flushes;
+      m.wire_bytes = wire.bytes + wire.p2p_bytes;
       m.wire_messages = wire.messages;
       m.rounds = wire.rounds;
     }

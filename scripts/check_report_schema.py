@@ -73,6 +73,34 @@ SERVING_RUN_KEYS = (
     "pruned_expand",
     "pruned_apply",
 )
+# breakdown.async: the gated async-vs-sync comparison (docs/async.md) —
+# distances must be bit-identical with strictly fewer global collectives.
+BREAKDOWN_ASYNC_KEYS = (
+    "sync_collectives",
+    "async_collectives",
+    "fewer_collectives",
+    "bit_identical",
+    "flush_capacity",
+    "flush_timeout",
+    "p2p_bytes",
+)
+# replay.async: the barrier-free recording priced by replay_async_trace —
+# the near-empty collective log plus the aggregated parcel stream.
+REPLAY_ASYNC_KEYS = (
+    "collective_rounds",
+    "sync_rounds",
+    "p2p",
+    "replay",
+    "critical_path_speedup",
+)
+REPLAY_P2P_KEYS = (
+    "flushes",
+    "messages",
+    "bytes",
+    "max_rank_bytes",
+    "flush_capacity",
+    "flush_timeout",
+)
 
 
 def check_trace(doc, path, errors):
@@ -107,6 +135,39 @@ def check_report(doc, path, errors):
         errors.append(f"{path}: cases must be an array")
     if doc.get("harness") == "serving":
         check_serving(doc, path, errors)
+    if doc.get("harness") == "breakdown":
+        check_breakdown_async(doc, path, errors)
+    if doc.get("harness") == "replay":
+        check_replay_async(doc, path, errors)
+
+
+def check_breakdown_async(doc, path, errors):
+    async_doc = doc.get("async")
+    if not isinstance(async_doc, dict):
+        errors.append(f"{path}: breakdown report missing 'async' section")
+        return
+    for key in BREAKDOWN_ASYNC_KEYS:
+        if key not in async_doc:
+            errors.append(f"{path}: breakdown async missing '{key}'")
+    if async_doc.get("bit_identical") is not True:
+        errors.append(f"{path}: async distances not bit_identical")
+    if async_doc.get("fewer_collectives") is not True:
+        errors.append(f"{path}: async did not issue fewer collectives")
+
+
+def check_replay_async(doc, path, errors):
+    async_doc = doc.get("async")
+    if not isinstance(async_doc, dict):
+        errors.append(f"{path}: replay report missing 'async' section")
+        return
+    for key in REPLAY_ASYNC_KEYS:
+        if key not in async_doc:
+            errors.append(f"{path}: replay async missing '{key}'")
+    p2p = async_doc.get("p2p", {})
+    if isinstance(p2p, dict):
+        for key in REPLAY_P2P_KEYS:
+            if key not in p2p:
+                errors.append(f"{path}: replay async p2p missing '{key}'")
 
 
 def check_serving(doc, path, errors):

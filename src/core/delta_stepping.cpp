@@ -97,6 +97,7 @@ class Engine {
 
   SsspResult run() {
     util::Timer total;
+    const std::uint64_t rounds_at_start = comm_.stats().rounds();
     std::uint64_t k_hint = try_restore();
     while (true) {
       const std::uint64_t k_local = queue_.next_nonempty(k_hint);
@@ -112,6 +113,7 @@ class Engine {
       k_hint = k + 1;
     }
     stats_.total_seconds = total.seconds();
+    stats_.global_collectives = comm_.stats().rounds() - rounds_at_start;
     // A completed run's snapshot must not leak into the next one.
     if (ckpt_ != nullptr) ckpt_->clear();
 
@@ -365,6 +367,7 @@ class Engine {
           [](std::uint64_t a, std::uint64_t b) { return a + b; });
       if (totals[0] == 0) break;  // bucket k drained everywhere
       ++stats_.light_iterations;
+      ++stats_.sub_rounds;
       ++row.light_rounds;
       row.frontier_total += totals[0];
       stats_.frontier_hist.add(totals[0]);
@@ -383,6 +386,7 @@ class Engine {
 
     phase.reset();
     ++stats_.heavy_phases;
+    ++stats_.sub_rounds;
     push_round(settled, /*light=*/false, k);
     stats_.heavy_seconds += phase.seconds();
 

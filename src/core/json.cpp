@@ -13,6 +13,8 @@ util::Json to_json(const SsspConfig& config) {
   j["local_fusion"] = config.local_fusion;
   j["compress"] = config.compress;
   j["hierarchical_group"] = config.hierarchical_group;
+  j["aggregator_capacity"] = config.aggregator_capacity;
+  j["aggregator_max_age"] = config.aggregator_max_age;
   j["max_buckets"] = config.max_buckets;
   j["checkpoint_interval"] = config.checkpoint_interval;
   j["collect_bucket_trace"] = config.collect_bucket_trace;
@@ -61,6 +63,10 @@ util::Json to_json(const SsspStats& stats) {
   j["pruned_apply"] = stats.pruned_apply;
   j["checkpoints"] = stats.checkpoints;
   j["restores"] = stats.restores;
+  j["global_collectives"] = stats.global_collectives;
+  j["sub_rounds"] = stats.sub_rounds;
+  j["aggregator_flush_capacity"] = stats.aggregator_flush_capacity;
+  j["aggregator_flush_timeout"] = stats.aggregator_flush_timeout;
   j["total_seconds"] = stats.total_seconds;
   j["light_seconds"] = stats.light_seconds;
   j["heavy_seconds"] = stats.heavy_seconds;

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/async_delta_stepping.hpp"
 #include "core/bellman_ford.hpp"
 #include "core/bfs.hpp"
 #include "core/delta_stepping.hpp"
@@ -44,12 +45,14 @@ std::vector<VertexId> sample_roots(simmpi::Comm& comm,
 
 SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   // Counters: element-wise sum.  Histogram: fixed 64-slot projection.
-  std::array<std::uint64_t, 15> counters = {
+  std::array<std::uint64_t, 19> counters = {
       local.buckets_processed, local.light_iterations, local.heavy_phases,
       local.push_rounds,       local.pull_rounds,      local.relax_generated,
       local.relax_sent,        local.relax_received,   local.relax_applied,
       local.fused_local,       local.filtered_hub,     local.filtered_coalesce,
-      local.frontier_broadcast, local.checkpoints,     local.restores};
+      local.frontier_broadcast, local.checkpoints,     local.restores,
+      local.global_collectives, local.sub_rounds,
+      local.aggregator_flush_capacity, local.aggregator_flush_timeout};
   std::vector<std::uint64_t> payload(counters.begin(), counters.end());
   payload.resize(counters.size() + 64, 0);
   const auto& buckets = local.frontier_hist.buckets();
@@ -80,10 +83,18 @@ SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   // duplicates of a global count, like the round counters above.
   total.checkpoints = summed[13] / P;
   total.restores = summed[14] / P;
+  // Collectives are matched, so every rank reports the same count.
+  total.global_collectives = summed[15] / P;
+  // Sync: identical per rank (global rounds).  Async: rank-local bucket
+  // expansions, so this is the mean per rank.
+  total.sub_rounds = summed[16] / P;
+  // Flushes are traffic-like: sum over ranks.
+  total.aggregator_flush_capacity = summed[17];
+  total.aggregator_flush_timeout = summed[18];
   for (std::size_t i = 0; i < 64; ++i) {
     // Every rank records the same global frontier size per round; undo the
     // P-fold duplication.
-    const std::uint64_t c = summed[15 + i] / P;
+    const std::uint64_t c = summed[counters.size() + i] / P;
     if (c > 0) {
       total.frontier_hist.add(i == 0 ? 0 : (std::uint64_t{1} << i), c);
     }
@@ -140,6 +151,9 @@ BenchmarkReport run_benchmark(simmpi::Comm& comm, const graph::DistGraph& g,
     switch (options.algorithm) {
       case Algorithm::kDeltaStepping:
         result = delta_stepping(comm, g, root, options.config, &local);
+        break;
+      case Algorithm::kAsyncDeltaStepping:
+        result = async_delta_stepping(comm, g, root, options.config, &local);
         break;
       case Algorithm::kBellmanFord:
         result = bellman_ford(comm, g, root, options.config, &local);

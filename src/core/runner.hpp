@@ -20,9 +20,10 @@
 namespace g500::core {
 
 enum class Algorithm {
-  kDeltaStepping,  ///< the SSSP kernel (paper's contribution)
-  kBellmanFord,    ///< SSSP baseline
-  kBfs,            ///< the Graph 500 BFS kernel (hop distances, no weights)
+  kDeltaStepping,       ///< the SSSP kernel (paper's contribution)
+  kAsyncDeltaStepping,  ///< barrier-free variant over the aggregator
+  kBellmanFord,         ///< SSSP baseline
+  kBfs,  ///< the Graph 500 BFS kernel (hop distances, no weights)
 };
 
 struct RunnerOptions {

@@ -45,6 +45,13 @@ struct SsspConfig {
   /// wide format automatically on larger graphs.
   bool compress = true;
 
+  /// Async engine only (async_delta_stepping): records buffered per
+  /// destination before the aggregator's capacity flush ships them.
+  std::size_t aggregator_capacity = 512;
+  /// Async engine only: poll cycles a non-empty aggregation buffer may age
+  /// before a timeout flush ships it regardless of fill level.
+  std::uint64_t aggregator_max_age = 4;
+
   /// Route relaxation exchanges through the two-level supernode-aggregated
   /// alltoallv with groups of this many consecutive ranks (<= 1 = flat).
   /// Cuts per-round message count from O(P^2) to O(P*G + P^2/G^2) at the
@@ -139,6 +146,19 @@ struct SsspStats {
   std::uint64_t checkpoints = 0;       ///< snapshots taken this run
   std::uint64_t restores = 0;          ///< runs resumed from a snapshot
 
+  /// Global synchronization rounds (collective calls) this run charged —
+  /// the quantity the async engine exists to shrink.  Identical on every
+  /// rank (collectives are matched).
+  std::uint64_t global_collectives = 0;
+  /// Work sub-rounds: inner exchange rounds + heavy phases for the sync
+  /// engine; bucket expansions for the async engine (rank-local there —
+  /// ranks proceed independently, so global_stats reports the mean).
+  std::uint64_t sub_rounds = 0;
+  /// Async engine only: aggregator flushes by trigger (capacity vs
+  /// timeout/idle drain).
+  std::uint64_t aggregator_flush_capacity = 0;
+  std::uint64_t aggregator_flush_timeout = 0;
+
   double total_seconds = 0.0;
   double light_seconds = 0.0;
   double heavy_seconds = 0.0;
@@ -167,6 +187,10 @@ struct SsspStats {
     pruned_apply += other.pruned_apply;
     checkpoints += other.checkpoints;
     restores += other.restores;
+    global_collectives += other.global_collectives;
+    sub_rounds += other.sub_rounds;
+    aggregator_flush_capacity += other.aggregator_flush_capacity;
+    aggregator_flush_timeout += other.aggregator_flush_timeout;
     total_seconds += other.total_seconds;
     light_seconds += other.light_seconds;
     heavy_seconds += other.heavy_seconds;

@@ -55,6 +55,10 @@ ReplayReport replay_trace(const std::vector<TraceRound>& trace,
         seconds = cost.allgatherv_seconds(
             static_cast<double>(round.total_bytes), target_ranks);
         break;
+      case CollectiveKind::kPoint2Point:
+        // Unreachable: parcels are unmatched and never enter the collective
+        // round log (replay_async_trace prices the p2p stream separately).
+        break;
     }
     // Injected stalls hold the whole round: collectives complete at the
     // pace of the slowest participant.
@@ -75,6 +79,54 @@ ReplayReport replay_trace(const std::vector<TraceRound>& trace,
             [](const ReplayBreakdown& a, const ReplayBreakdown& b) {
               return a.seconds > b.seconds;
             });
+  return report;
+}
+
+ReplayReport replay_async_trace(const std::vector<TraceRound>& trace,
+                                const simmpi::P2pSummary& p2p,
+                                const Machine& machine, std::int64_t nodes,
+                                int ranks_per_node, int traced_ranks) {
+  ReplayReport report =
+      replay_trace(trace, machine, nodes, ranks_per_node, traced_ranks);
+  if (p2p.flushes == 0) return report;
+
+  const Machine scaled = machine.scaled_to(nodes);
+  const net::SunwayTopology topo = scaled.topology();
+  const net::CostModel cost(topo, ranks_per_node);
+  const std::int64_t target_ranks = nodes * ranks_per_node;
+  const double spread = static_cast<double>(traced_ranks) /
+                        static_cast<double>(target_ranks);
+
+  // Bandwidth term: the stream moves the same bytes an alltoallv would,
+  // but with no synchronized round there is no per-round latency charge —
+  // subtract the model's zero-byte cost to keep only the transfer time.
+  net::AlltoallTraffic traffic;
+  traffic.total_bytes = static_cast<double>(p2p.bytes);
+  traffic.max_rank_bytes = static_cast<double>(p2p.max_rank_bytes) * spread;
+  traffic.cross_cut_fraction = 0.5;
+  const double bandwidth_seconds =
+      cost.alltoallv_seconds(traffic, target_ranks) -
+      cost.alltoallv_seconds(net::AlltoallTraffic{}, target_ranks);
+  // Injection overhead: each flush is one software send.  Flushes overlap
+  // across ranks, so charge the mean per-rank flush count at the cost of a
+  // minimal two-party exchange.
+  const double per_flush = cost.alltoallv_seconds(net::AlltoallTraffic{}, 2);
+  const double flush_seconds =
+      per_flush * (static_cast<double>(p2p.flushes) /
+                   static_cast<double>(traced_ranks));
+  const double seconds = bandwidth_seconds + flush_seconds;
+
+  ReplayBreakdown stream;
+  stream.kind = CollectiveKind::kPoint2Point;
+  stream.rounds = p2p.flushes;  // parcels, not synchronized rounds
+  stream.bytes = p2p.bytes;
+  stream.seconds = seconds;
+  report.by_kind.push_back(stream);
+  std::sort(report.by_kind.begin(), report.by_kind.end(),
+            [](const ReplayBreakdown& a, const ReplayBreakdown& b) {
+              return a.seconds > b.seconds;
+            });
+  report.total_seconds += seconds;
   return report;
 }
 

@@ -43,4 +43,16 @@ struct ReplayReport {
     const std::vector<simmpi::TraceRound>& trace, const Machine& machine,
     std::int64_t nodes, int ranks_per_node, int traced_ranks);
 
+/// Replay an asynchronous run: the (typically short) collective round log
+/// plus the aggregated point-to-point stream summary
+/// (simmpi::World::p2p_summary).  The stream is priced as overlapped
+/// bandwidth — bytes over the binding link, no per-round barrier latency —
+/// plus a per-flush software/injection overhead charged at the busiest
+/// rank's flush rate; it appears as one kPoint2Point entry in by_kind (no
+/// round_seconds entries: parcels are not rounds).
+[[nodiscard]] ReplayReport replay_async_trace(
+    const std::vector<simmpi::TraceRound>& trace,
+    const simmpi::P2pSummary& p2p, const Machine& machine,
+    std::int64_t nodes, int ranks_per_node, int traced_ranks);
+
 }  // namespace g500::model

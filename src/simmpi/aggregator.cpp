@@ -1,0 +1,74 @@
+#include "simmpi/aggregator.hpp"
+
+namespace g500::simmpi {
+
+bool QuiescenceDetector::on_control(const Parcel& parcel) {
+  if (parcel.tag == kQuiescenceTerminateTag) {
+    terminated_ = true;
+    return true;
+  }
+  if (parcel.tag != kQuiescenceTokenTag) return false;
+  if (terminated_) return true;  // stale token after the decision: drop
+  Token token;
+  std::memcpy(&token, parcel.bytes.data(), sizeof(Token));
+  held_ = token;
+  holding_ = true;
+  return true;
+}
+
+void QuiescenceDetector::forward(const Token& token, int dst) {
+  comm_->send_parcel(dst, kQuiescenceTokenTag, &token, sizeof(Token),
+                     SendReason::kControl);
+}
+
+void QuiescenceDetector::advance() {
+  if (terminated_) return;
+  const int P = comm_->size();
+  const int rank = comm_->rank();
+
+  if (rank != 0) {
+    // Holding the token while idle: stamp our counters and pass it on.
+    if (holding_) {
+      holding_ = false;
+      Token token = held_;
+      token.sent += sent_;
+      token.received += received_;
+      forward(token, (rank + 1) % P);
+    }
+    return;
+  }
+
+  // Rank 0: complete a returned wave, or launch the next one.
+  if (holding_) {
+    holding_ = false;
+    wave_in_flight_ = false;
+    ++waves_completed_;
+    const Token& done = held_;
+    if (have_prev_ && done.sent == done.received &&
+        done.sent == prev_.sent && done.received == prev_.received) {
+      // Two consecutive waves with identical global counters and nothing in
+      // flight: globally quiescent.  Tell everyone (self included, by flag).
+      terminated_ = true;
+      const std::uint64_t wave = done.wave;
+      for (int d = 1; d < P; ++d) {
+        comm_->send_parcel(d, kQuiescenceTerminateTag, &wave, sizeof(wave),
+                           SendReason::kControl);
+      }
+      return;
+    }
+    have_prev_ = true;
+    prev_ = done;
+  }
+  if (!wave_in_flight_) {
+    wave_in_flight_ = true;
+    Token token;
+    token.wave = next_wave_++;
+    token.sent = sent_;
+    token.received = received_;
+    // P == 1: the token goes straight to our own mailbox and completes the
+    // wave at the next on_control/advance pair.
+    forward(token, 1 % P);
+  }
+}
+
+}  // namespace g500::simmpi

@@ -1,0 +1,233 @@
+// Message aggregation and distributed quiescence for the asynchronous
+// engine path.
+//
+// The BSP collectives in comm.hpp charge one global synchronization per
+// exchange, so an engine built on them pays latency proportional to its
+// round count.  The record-run codes this repo models avoid that by
+// streaming relaxations through per-destination aggregation buffers
+// (Grappa's RDMAAggregator is the canonical design): a message is appended
+// locally and leaves the rank only when its buffer fills (capacity flush)
+// or ages out (timeout flush).  No rank ever waits for another to make
+// progress — the only global question left is "is everyone done?", which a
+// Mattern-style four-counter token ring answers without a barrier.
+//
+// Usage (one Aggregator per rank, inside World::run):
+//   Aggregator<Update> agg(comm, opts);
+//   agg.send(dst, update);             // buffers; may flush at capacity
+//   std::vector<Update> in;
+//   agg.poll(in);                      // drain mailbox + age out buffers
+//   ...when locally idle...
+//   agg.advance_quiescence();          // flush residue + drive the token
+//   if (agg.quiescent()) { /* globally done */ }
+//
+// See docs/async.md for the protocol and its safety argument.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace g500::simmpi {
+
+/// Flush-policy knobs for one Aggregator.
+struct AggregatorOptions {
+  /// Records buffered per destination before a capacity flush.
+  std::size_t capacity = 512;
+  /// Poll cycles a non-empty buffer may sit before a timeout flush.
+  std::uint64_t max_age = 4;
+  /// Parcel tag for data flushes (must be >= 0; negative tags are reserved
+  /// for quiescence control).
+  int tag = 0;
+};
+
+/// Reserved control tags (outside the user range, which is >= 0).
+inline constexpr int kQuiescenceTokenTag = -1;
+inline constexpr int kQuiescenceTerminateTag = -2;
+
+/// Mattern-style four-counter termination detection over the parcel
+/// transport.  Each rank keeps monotone counters of records sent and
+/// received; rank 0 circulates a token around the ring accumulating them.
+/// The system has terminated when two consecutive waves report the same
+/// global (sent, received) pair with sent == received: equality across
+/// waves proves no rank did anything between its two report instants, and
+/// sent == received proves nothing was in flight at them.  Rank 0 then
+/// deposits a terminate parcel to every rank.
+///
+/// Callers must invoke advance() only while locally idle (no unprocessed
+/// input, no unflushed output) — a busy rank simply holds the token, which
+/// delays the wave but never falsifies it.
+class QuiescenceDetector {
+ public:
+  explicit QuiescenceDetector(Comm& comm) : comm_(&comm) {}
+
+  /// Record `n` payload records leaving this rank (call before deposit).
+  void note_sent(std::uint64_t n) noexcept { sent_ += n; }
+  /// Record `n` payload records consumed by this rank.
+  void note_received(std::uint64_t n) noexcept { received_ += n; }
+
+  /// Offer a parcel from the mailbox; returns true when it was a control
+  /// parcel this detector consumed (token or terminate).
+  bool on_control(const Parcel& parcel);
+
+  /// Drive the protocol one step: rank 0 launches a wave when none is in
+  /// flight; any rank holding the token stamps its counters and forwards
+  /// it.  Only call while locally idle.
+  void advance();
+
+  /// True once the terminate decision has reached this rank.
+  [[nodiscard]] bool quiescent() const noexcept { return terminated_; }
+
+  /// Completed token round-trips (diagnostic).
+  [[nodiscard]] std::uint64_t waves_completed() const noexcept {
+    return waves_completed_;
+  }
+
+ private:
+  /// The payload circulated through kQuiescenceTokenTag parcels.
+  struct Token {
+    std::uint64_t wave = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+  };
+
+  void forward(const Token& token, int dst);
+
+  Comm* comm_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+
+  Token held_{};           // token waiting for this rank's idle moment
+  bool holding_ = false;
+  bool wave_in_flight_ = false;  // rank 0 only
+  bool have_prev_ = false;       // rank 0 only
+  Token prev_{};                 // rank 0 only: last completed wave
+  std::uint64_t next_wave_ = 0;  // rank 0 only
+  std::uint64_t waves_completed_ = 0;
+  bool terminated_ = false;
+};
+
+/// Per-destination aggregation buffers over trivially-copyable records.
+/// One per rank; owns a QuiescenceDetector counting its records.
+template <typename T>
+class Aggregator {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "aggregated records model wire data");
+
+ public:
+  Aggregator(Comm& comm, AggregatorOptions options = {})
+      : comm_(&comm), options_(options), detector_(comm) {
+    if (options_.tag < 0) {
+      throw std::invalid_argument(
+          "Aggregator: negative tags are reserved for quiescence control");
+    }
+    buffers_.resize(static_cast<std::size_t>(comm.size()));
+    birth_cycle_.assign(buffers_.size(), 0);
+  }
+
+  /// Buffer one record for `dst`; flushes the destination's buffer when it
+  /// reaches capacity.
+  void send(int dst, const T& record) {
+    auto& buf = buffers_[static_cast<std::size_t>(dst)];
+    if (buf.empty()) birth_cycle_[static_cast<std::size_t>(dst)] = cycle_;
+    buf.push_back(record);
+    if (buf.size() >= options_.capacity) {
+      flush(dst, SendReason::kCapacityFlush);
+    }
+  }
+
+  /// Deposit `dst`'s buffer as one parcel (no-op when empty).  The
+  /// compactor hook (dedup/coalesce) runs first, so capacity flushes ship
+  /// already-compressed payloads.
+  void flush(int dst, SendReason reason) {
+    auto& buf = buffers_[static_cast<std::size_t>(dst)];
+    if (buf.empty()) return;
+    if (compactor_) compactor_(buf);
+    if (!buf.empty()) {
+      detector_.note_sent(buf.size());
+      comm_->send_parcel(dst, options_.tag, buf.data(),
+                         buf.size() * sizeof(T), reason);
+    }
+    buf.clear();
+  }
+
+  void flush_all(SendReason reason = SendReason::kManualFlush) {
+    for (int d = 0; d < static_cast<int>(buffers_.size()); ++d) {
+      flush(d, reason);
+    }
+  }
+
+  /// Drain this rank's mailbox, appending decoded records to `out`.  Also
+  /// ages the send buffers: one poll = one cycle, and buffers older than
+  /// max_age cycles are timeout-flushed so records cannot linger while the
+  /// owner busies itself elsewhere.  Returns the number of records
+  /// appended.  Throws AbortedError once any rank has failed.
+  std::size_t poll(std::vector<T>& out) {
+    ++cycle_;
+    for (int d = 0; d < static_cast<int>(buffers_.size()); ++d) {
+      const auto& buf = buffers_[static_cast<std::size_t>(d)];
+      if (!buf.empty() &&
+          cycle_ - birth_cycle_[static_cast<std::size_t>(d)] >=
+              options_.max_age) {
+        flush(d, SendReason::kTimeoutFlush);
+      }
+    }
+    std::size_t appended = 0;
+    for (const Parcel& parcel : comm_->poll_parcels()) {
+      if (detector_.on_control(parcel)) continue;
+      const std::size_t n = parcel.bytes.size() / sizeof(T);
+      const std::size_t old = out.size();
+      out.resize(old + n);
+      if (n != 0) {
+        std::memcpy(out.data() + old, parcel.bytes.data(), n * sizeof(T));
+      }
+      detector_.note_received(n);
+      appended += n;
+    }
+    return appended;
+  }
+
+  /// Records buffered locally, not yet flushed.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buf : buffers_) total += buf.size();
+    return total;
+  }
+
+  /// Call when locally idle: drains any buffered residue (counted as
+  /// timeout flushes — the idle drain is the degenerate age-out) and drives
+  /// the termination token.
+  void advance_quiescence() {
+    flush_all(SendReason::kTimeoutFlush);
+    detector_.advance();
+  }
+
+  [[nodiscard]] bool quiescent() const noexcept {
+    return detector_.quiescent();
+  }
+
+  /// Install a hook run on each buffer right before it is flushed —
+  /// typically dedup/min-coalescing, so the wire carries no redundant
+  /// records.  The hook may shrink (even empty) the buffer.
+  void set_compactor(std::function<void(std::vector<T>&)> fn) {
+    compactor_ = std::move(fn);
+  }
+
+  [[nodiscard]] const QuiescenceDetector& detector() const noexcept {
+    return detector_;
+  }
+
+ private:
+  Comm* comm_;
+  AggregatorOptions options_;
+  QuiescenceDetector detector_;
+  std::vector<std::vector<T>> buffers_;
+  std::vector<std::uint64_t> birth_cycle_;
+  std::uint64_t cycle_ = 0;
+  std::function<void(std::vector<T>&)> compactor_;
+};
+
+}  // namespace g500::simmpi

@@ -1,5 +1,7 @@
 #include "simmpi/comm.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <thread>
 
 namespace g500::simmpi {
@@ -9,6 +11,9 @@ void CommStats::merge(const CommStats& other) {
   allreduce.merge(other.allreduce);
   allgather.merge(other.allgather);
   broadcast.merge(other.broadcast);
+  p2p.merge(other.p2p);
+  p2p_flush_capacity += other.p2p_flush_capacity;
+  p2p_flush_timeout += other.p2p_flush_timeout;
   barriers += other.barriers;
   stall_seconds += other.stall_seconds;
   if (other.bytes_to.size() > bytes_to.size()) {
@@ -29,6 +34,10 @@ World::World(int num_ranks) {
     comms_.back()->stats_.resize(static_cast<std::size_t>(num_ranks));
   }
   slots_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    mailboxes_.emplace_back(std::make_unique<Mailbox>());
+  }
 }
 
 void World::sync() {
@@ -64,6 +73,58 @@ void Comm::begin_collective(CollectiveKind kind) {
     stats_.stall_seconds += stall;
     stall_pending_ += stall;
   }
+}
+
+void Comm::send_parcel(int dst, int tag, const void* data, std::size_t bytes,
+                       SendReason reason) {
+  if (dst < 0 || dst >= size()) {
+    fail(std::make_exception_ptr(
+        std::invalid_argument("send_parcel: bad destination rank")));
+  }
+  if (world_->failed_.load(std::memory_order_acquire)) throw AbortedError{};
+  // Fault hook: planned stalls/crashes can target a flush like any
+  // collective entry.  Parcels are never recorded in the collective trace —
+  // they are unmatched across ranks, and merged_trace() requires alignment.
+  begin_collective(CollectiveKind::kPoint2Point);
+  switch (reason) {
+    case SendReason::kCapacityFlush:
+      ++stats_.p2p_flush_capacity;
+      break;
+    case SendReason::kTimeoutFlush:
+      ++stats_.p2p_flush_timeout;
+      break;
+    case SendReason::kManualFlush:
+    case SendReason::kControl:
+      break;
+  }
+  if (dst != rank_) {
+    ++stats_.p2p.calls;
+    stats_.p2p.bytes += bytes;
+    ++stats_.p2p.messages;
+  }
+  Parcel parcel;
+  parcel.src = rank_;
+  parcel.tag = tag;
+  parcel.bytes.resize(bytes);
+  if (bytes != 0) std::memcpy(parcel.bytes.data(), data, bytes);
+  World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  box.queue.push_back(std::move(parcel));
+}
+
+std::vector<Parcel> Comm::poll_parcels() {
+  if (world_->failed_.load(std::memory_order_acquire)) throw AbortedError{};
+  World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::vector<Parcel> drained;
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  drained.swap(box.queue);
+  return drained;
+}
+
+bool Comm::mailbox_empty() const {
+  World::Mailbox& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  return box.queue.empty();
 }
 
 void Comm::publish(const void* ptr) {
@@ -128,6 +189,10 @@ void World::run(const std::function<void(Comm&)>& fn) {
   corrupted_.store(false, std::memory_order_release);
   corrupt_src_.store(-1, std::memory_order_release);
   corrupt_dst_.store(-1, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    const std::lock_guard<std::mutex> lock(box->mutex);
+    box->queue.clear();
+  }
 
   auto body = [&](Comm& comm) {
     try {
@@ -179,6 +244,20 @@ void World::reset_stats() {
 
 void World::enable_trace(bool enabled) {
   for (auto& comm : comms_) comm->trace_enabled_ = enabled;
+}
+
+P2pSummary World::p2p_summary() const {
+  P2pSummary summary;
+  for (const auto& comm : comms_) {
+    const CommStats& s = comm->stats_;
+    summary.flushes += s.p2p.calls;
+    summary.messages += s.p2p.messages;
+    summary.bytes += s.p2p.bytes;
+    summary.max_rank_bytes = std::max(summary.max_rank_bytes, s.p2p.bytes);
+    summary.flush_capacity += s.p2p_flush_capacity;
+    summary.flush_timeout += s.p2p_flush_timeout;
+  }
+  return summary;
 }
 
 std::vector<TraceRound> World::merged_trace() const {

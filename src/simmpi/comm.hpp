@@ -53,6 +53,24 @@ class AbortedError : public std::runtime_error {
   AbortedError() : std::runtime_error("simmpi: peer rank aborted") {}
 };
 
+/// One asynchronously delivered point-to-point buffer: an aggregator flush
+/// or a quiescence-control message.  Parcels bypass the barrier protocol
+/// entirely — the receiver drains them whenever it polls.
+struct Parcel {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Why a parcel was deposited — drives the capacity/timeout flush split in
+/// CommStats.
+enum class SendReason : std::uint8_t {
+  kCapacityFlush,  ///< destination buffer reached its capacity
+  kTimeoutFlush,   ///< buffer aged out between polls / idle drain
+  kManualFlush,    ///< explicit flush (end of phase)
+  kControl,        ///< quiescence token / terminate (not a flush)
+};
+
 /// Handle a rank uses to communicate.  One per rank, owned by World; valid
 /// only inside World::run.
 class Comm {
@@ -119,6 +137,25 @@ class Comm {
   /// Broadcast `value` from `root` to all ranks.
   template <typename T>
   void broadcast(T& value, int root);
+
+  /// Asynchronous point-to-point send: deposit a copy of
+  /// [data, data + bytes) into `dst`'s mailbox.  NOT a collective — no
+  /// barrier, no rank matching; the receiver sees it at its next
+  /// poll_parcels().  Traffic lands in CommStats::p2p (self-sends excluded
+  /// from the wire counters, like everywhere else) and `reason` feeds the
+  /// capacity/timeout flush split.  The fault injector is consulted like a
+  /// collective entry, so planned stalls/crashes can hit a flush.
+  void send_parcel(int dst, int tag, const void* data, std::size_t bytes,
+                   SendReason reason);
+
+  /// Drain this rank's mailbox (non-blocking; parcels keep per-sender
+  /// deposit order).  Throws AbortedError once any rank has failed — async
+  /// receive loops poll this instead of sitting in a barrier, so a crashed
+  /// peer unwinds them too.
+  [[nodiscard]] std::vector<Parcel> poll_parcels();
+
+  /// True when nothing is waiting in this rank's mailbox.
+  [[nodiscard]] bool mailbox_empty() const;
 
   /// This rank's traffic record (reset via World::reset_stats).
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
@@ -226,8 +263,19 @@ class World {
   /// std::logic_error if rank sequences diverge (mismatched collectives).
   [[nodiscard]] std::vector<TraceRound> merged_trace() const;
 
+  /// Machine-wide view of the aggregated point-to-point stream (totals and
+  /// busiest sender), built from the per-rank CommStats.  The async analog
+  /// of merged_trace(): what model::replay_async_trace prices.
+  [[nodiscard]] P2pSummary p2p_summary() const;
+
  private:
   friend class Comm;
+
+  /// One rank's incoming async message queue.
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Parcel> queue;
+  };
 
   /// Barrier phase used by every collective; throws AbortedError in
   /// surviving ranks once any rank has failed.
@@ -249,6 +297,10 @@ class World {
   std::vector<std::unique_ptr<Comm>> comms_;
   std::optional<std::barrier<>> barrier_;  // recreated per run()
   std::vector<const void*> slots_;
+  // One mailbox per rank (unique_ptr: std::mutex is immovable).  Cleared at
+  // the start of each run() so a failed run's stranded parcels cannot leak
+  // into the next.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> failed_{false};
   std::exception_ptr first_error_;
   std::mutex error_mutex_;

@@ -17,6 +17,9 @@ util::Json to_json(const CommStats& s, bool include_bytes_to) {
   j["allreduce"] = to_json(s.allreduce);
   j["allgather"] = to_json(s.allgather);
   j["broadcast"] = to_json(s.broadcast);
+  j["p2p"] = to_json(s.p2p);
+  j["p2p_flush_capacity"] = s.p2p_flush_capacity;
+  j["p2p_flush_timeout"] = s.p2p_flush_timeout;
   j["barriers"] = s.barriers;
   j["stall_seconds"] = s.stall_seconds;
   j["total_bytes"] = s.total_bytes();
@@ -27,6 +30,17 @@ util::Json to_json(const CommStats& s, bool include_bytes_to) {
     for (const auto b : s.bytes_to) bytes_to.push_back(b);
     j["bytes_to"] = std::move(bytes_to);
   }
+  return j;
+}
+
+util::Json to_json(const P2pSummary& p) {
+  util::Json j = util::Json::object();
+  j["flushes"] = p.flushes;
+  j["messages"] = p.messages;
+  j["bytes"] = p.bytes;
+  j["max_rank_bytes"] = p.max_rank_bytes;
+  j["flush_capacity"] = p.flush_capacity;
+  j["flush_timeout"] = p.flush_timeout;
   return j;
 }
 

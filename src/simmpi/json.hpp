@@ -26,6 +26,10 @@ constexpr int kTraceSchemaVersion = 1;
 [[nodiscard]] util::Json to_json(const CommStats& s,
                                  bool include_bytes_to = false);
 
+/// Machine-wide async point-to-point stream summary
+/// (World::p2p_summary()).
+[[nodiscard]] util::Json to_json(const P2pSummary& p);
+
 /// One merged machine-wide trace round.
 [[nodiscard]] util::Json to_json(const TraceRound& r);
 

@@ -30,6 +30,20 @@ struct CommStats {
   CollectiveStats allreduce;
   CollectiveStats allgather;
   CollectiveStats broadcast;
+  /// Aggregated point-to-point traffic (Aggregator flushes and quiescence
+  /// control parcels).  Deliberately tallied apart from the collective
+  /// counters: replay prices streamed sends (no barrier, overlappable)
+  /// differently from synchronized rounds, so conflating them would skew
+  /// both.  calls = parcels deposited to remote ranks, one wire message
+  /// each; self-deposits are excluded like all intra-rank traffic.
+  CollectiveStats p2p;
+  /// Flush-trigger split of the aggregator's deposits: buffer reached
+  /// capacity vs aged out (or was idle-drained).  Control parcels count in
+  /// neither.  Self-directed flushes are counted here even though they put
+  /// nothing on the wire — the split diagnoses the flush policy, not the
+  /// interconnect.
+  std::uint64_t p2p_flush_capacity = 0;
+  std::uint64_t p2p_flush_timeout = 0;
   std::uint64_t barriers = 0;
 
   /// Virtual delay charged to this rank by injected stall faults (see
@@ -48,6 +62,9 @@ struct CommStats {
     allreduce = {};
     allgather = {};
     broadcast = {};
+    p2p = {};
+    p2p_flush_capacity = 0;
+    p2p_flush_timeout = 0;
     barriers = 0;
     stall_seconds = 0.0;
     for (auto& b : bytes_to) b = 0;
@@ -58,16 +75,19 @@ struct CommStats {
   /// Total payload bytes this rank put on the (simulated) wire.
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return alltoallv.bytes + allreduce.bytes + allgather.bytes +
-           broadcast.bytes;
+           broadcast.bytes + p2p.bytes;
   }
 
-  /// Total point-to-point messages implied by the collectives.
+  /// Total point-to-point messages implied by the collectives plus the
+  /// aggregated async stream.
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
     return alltoallv.messages + allreduce.messages + allgather.messages +
-           broadcast.messages;
+           broadcast.messages + p2p.messages;
   }
 
   /// Number of global synchronization rounds (each collective costs one).
+  /// Aggregated p2p sends never synchronize, so they add no rounds — the
+  /// async engine's whole point.
   [[nodiscard]] std::uint64_t rounds() const noexcept {
     return alltoallv.calls + allreduce.calls + allgather.calls +
            broadcast.calls + barriers;

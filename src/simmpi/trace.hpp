@@ -20,6 +20,11 @@ enum class CollectiveKind : std::uint8_t {
   kAllreduce,
   kAllgather,
   kBroadcast,
+  /// Asynchronous aggregated point-to-point (one flushed parcel).  Never
+  /// appears in the collective round log — p2p sends are unmatched across
+  /// ranks — but shares the kind enum so the fault injector and the replay
+  /// breakdown can name it.
+  kPoint2Point,
 };
 
 [[nodiscard]] constexpr const char* to_string(CollectiveKind kind) {
@@ -34,6 +39,8 @@ enum class CollectiveKind : std::uint8_t {
       return "allgather";
     case CollectiveKind::kBroadcast:
       return "broadcast";
+    case CollectiveKind::kPoint2Point:
+      return "p2p";
   }
   return "?";
 }
@@ -51,6 +58,20 @@ struct TraceRound {
   std::uint64_t total_bytes = 0;     ///< summed over ranks
   std::uint64_t max_rank_bytes = 0;  ///< busiest contributor
   double stall_seconds = 0.0;        ///< slowest rank's injected stall
+};
+
+/// Machine-wide summary of the asynchronous point-to-point stream, built
+/// from the per-rank CommStats by World::p2p_summary().  Parcels are not
+/// rounds — they never synchronize ranks — so the replay model prices this
+/// alongside the collective round log instead of inside it
+/// (model::replay_async_trace).
+struct P2pSummary {
+  std::uint64_t flushes = 0;         ///< remote parcels deposited
+  std::uint64_t messages = 0;        ///< same as flushes (1 wire msg each)
+  std::uint64_t bytes = 0;           ///< payload bytes across all ranks
+  std::uint64_t max_rank_bytes = 0;  ///< busiest sender's total
+  std::uint64_t flush_capacity = 0;  ///< capacity-triggered flushes
+  std::uint64_t flush_timeout = 0;   ///< timeout / idle-drain flushes
 };
 
 }  // namespace g500::simmpi

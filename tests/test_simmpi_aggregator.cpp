@@ -1,0 +1,292 @@
+// Aggregator and quiescence tests: capacity/timeout flush policy, the
+// p2p-vs-collective wire accounting split, and the Mattern four-counter
+// termination edge cases (single rank, zero messages, in-flight messages,
+// faults during flush).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/aggregator.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
+
+namespace {
+
+using namespace g500;
+
+struct Record {
+  std::uint64_t key = 0;
+  std::uint64_t payload = 0;
+};
+
+// The standard idle loop: poll + advance the token until globally done.
+// Returns the records received.  Every test that terminates goes through
+// this; if quiescence is unsafe or deadlocks, these tests hang or lose
+// records.
+std::vector<Record> drain_until_quiescent(simmpi::Aggregator<Record>& agg) {
+  std::vector<Record> in;
+  while (!agg.quiescent()) {
+    agg.poll(in);
+    agg.advance_quiescence();
+  }
+  agg.poll(in);  // pick up anything deposited with the terminate decision
+  return in;
+}
+
+TEST(Aggregator, CapacityFlushDeliversAllRecords) {
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 4;
+    simmpi::Aggregator<Record> agg(comm, opts);
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        agg.send(1, Record{i, i * 10});
+      }
+      // Two full buffers left at capacity; nothing is pending.
+      EXPECT_EQ(agg.pending(), 0u);
+      EXPECT_EQ(comm.stats().p2p_flush_capacity, 2u);
+      EXPECT_EQ(comm.stats().p2p_flush_timeout, 0u);
+    }
+    const auto in = drain_until_quiescent(agg);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(in.size(), 8u);
+      std::uint64_t sum = 0;
+      for (const auto& r : in) sum += r.payload;
+      EXPECT_EQ(sum, 280u);  // 10 * (0+1+...+7)
+    } else {
+      EXPECT_TRUE(in.empty());
+    }
+  });
+}
+
+TEST(Aggregator, TimeoutFlushAgesOutPartialBuffers) {
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 1024;  // never reached
+    opts.max_age = 3;
+    simmpi::Aggregator<Record> agg(comm, opts);
+    std::vector<Record> in;
+    if (comm.rank() == 0) {
+      agg.send(1, Record{7, 77});
+      EXPECT_EQ(agg.pending(), 1u);
+      // The buffer sits until max_age poll cycles have passed.
+      agg.poll(in);
+      agg.poll(in);
+      EXPECT_EQ(agg.pending(), 1u);
+      EXPECT_EQ(comm.stats().p2p_flush_timeout, 0u);
+      agg.poll(in);  // cycle 3: ages out
+      EXPECT_EQ(agg.pending(), 0u);
+      EXPECT_EQ(comm.stats().p2p_flush_timeout, 1u);
+      EXPECT_EQ(comm.stats().p2p_flush_capacity, 0u);
+    }
+    const auto rest = drain_until_quiescent(agg);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(rest.size(), 1u);
+      EXPECT_EQ(rest[0].key, 7u);
+      EXPECT_EQ(rest[0].payload, 77u);
+    }
+  });
+}
+
+TEST(Aggregator, CompactorRunsBeforeEveryFlush) {
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 8;
+    simmpi::Aggregator<Record> agg(comm, opts);
+    // Keep only the smallest payload per key.
+    agg.set_compactor([](std::vector<Record>& buf) {
+      std::sort(buf.begin(), buf.end(), [](const Record& a, const Record& b) {
+        return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+      });
+      buf.erase(std::unique(buf.begin(), buf.end(),
+                            [](const Record& a, const Record& b) {
+                              return a.key == b.key;
+                            }),
+                buf.end());
+    });
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < 8; ++i) {
+        agg.send(1, Record{i % 2, 100 - i});  // two keys, shrinking payloads
+      }
+    }
+    const auto in = drain_until_quiescent(agg);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(in.size(), 2u);  // deduped on the sender before the wire
+      for (const auto& r : in) {
+        EXPECT_EQ(r.payload, r.key == 0 ? 94u : 93u);
+      }
+    }
+  });
+}
+
+TEST(Aggregator, RejectsReservedControlTags) {
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.tag = simmpi::kQuiescenceTokenTag;
+    EXPECT_THROW(simmpi::Aggregator<Record> agg(comm, opts),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Aggregator, P2pTrafficIsSplitFromCollectives) {
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto rounds_before = comm.stats().rounds();
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 2;
+    simmpi::Aggregator<Record> agg(comm, opts);
+    if (comm.rank() == 0) {
+      agg.send(1, Record{1, 1});
+      agg.send(1, Record{2, 2});  // capacity flush: one parcel, 32 bytes
+      EXPECT_EQ(comm.stats().p2p.calls, 1u);
+      EXPECT_EQ(comm.stats().p2p.messages, 1u);
+      EXPECT_EQ(comm.stats().p2p.bytes, 2 * sizeof(Record));
+    }
+    (void)drain_until_quiescent(agg);
+    // Parcels are unmatched sends: they never contribute synchronized
+    // rounds, which is what the replay model prices per-round latency on.
+    EXPECT_EQ(comm.stats().rounds(), rounds_before);
+    EXPECT_EQ(comm.stats().alltoallv.calls, 0u);
+  });
+  const auto p2p = world.p2p_summary();
+  EXPECT_GE(p2p.flushes, 1u);
+  EXPECT_GE(p2p.bytes, 2 * sizeof(Record));
+  EXPECT_EQ(p2p.flush_capacity, 1u);
+}
+
+TEST(Aggregator, SelfSendsAreDeliveredButNotOnTheWire) {
+  // Single-rank world: every parcel (data and quiescence control alike) is
+  // a loopback, so nothing may land in the wire byte counters.
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 1;  // every send flushes immediately
+    simmpi::Aggregator<Record> agg(comm, opts);
+    agg.send(0, Record{5, 55});
+    EXPECT_EQ(comm.stats().p2p.bytes, 0u);  // loopback: no wire traffic
+    EXPECT_EQ(comm.stats().p2p_flush_capacity, 1u);
+    const auto in = drain_until_quiescent(agg);
+    ASSERT_EQ(in.size(), 1u);
+    EXPECT_EQ(in[0].payload, 55u);
+  });
+  EXPECT_EQ(world.p2p_summary().bytes, 0u);
+}
+
+// --- Quiescence edge cases ---------------------------------------------
+
+TEST(Quiescence, SingleRankWorldTerminates) {
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::Aggregator<Record> agg(comm);
+    agg.send(0, Record{1, 2});
+    agg.flush_all();
+    const auto in = drain_until_quiescent(agg);
+    EXPECT_EQ(in.size(), 1u);
+    EXPECT_TRUE(agg.quiescent());
+    EXPECT_GE(agg.detector().waves_completed(), 2u);
+  });
+}
+
+TEST(Quiescence, ZeroMessageRunTerminates) {
+  simmpi::World world(5);
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::Aggregator<Record> agg(comm);
+    const auto in = drain_until_quiescent(agg);
+    EXPECT_TRUE(in.empty());
+    EXPECT_TRUE(agg.quiescent());
+  });
+  // Only control traffic (token + terminate) crossed the wire.
+  const auto p2p = world.p2p_summary();
+  EXPECT_EQ(p2p.flush_capacity, 0u);
+  EXPECT_EQ(p2p.flush_timeout, 0u);
+}
+
+TEST(Quiescence, InFlightMessagesBlockTermination) {
+  // Safety: termination may not be declared while records are in flight.
+  // Rank 0 deposits parcels and immediately starts driving the token; the
+  // protocol must not terminate until rank 1 has consumed every record, so
+  // when quiescent() first turns true the receiver's inbox total is exact.
+  for (int trial = 0; trial < 5; ++trial) {
+    simmpi::World world(3);
+    constexpr std::uint64_t kRecords = 100;
+    world.run([&](simmpi::Comm& comm) {
+      simmpi::AggregatorOptions opts;
+      opts.capacity = 7;
+      simmpi::Aggregator<Record> agg(comm, opts);
+      if (comm.rank() == 0) {
+        for (std::uint64_t i = 0; i < kRecords; ++i) {
+          agg.send(1 + static_cast<int>(i % 2), Record{i, 1});
+        }
+      }
+      const auto in = drain_until_quiescent(agg);
+      if (comm.rank() == 0) {
+        EXPECT_TRUE(in.empty());
+      } else {
+        EXPECT_EQ(in.size(), kRecords / 2);
+      }
+      // Two consecutive identical waves are required; the round-trip count
+      // lives on rank 0, where the token returns.
+      if (comm.rank() == 0) {
+        EXPECT_GE(agg.detector().waves_completed(), 2u);
+      }
+    });
+  }
+}
+
+TEST(Quiescence, StallDuringFlushOnlyDelaysTermination) {
+  // A fault-injected stall on a victim's parcel deposit charges virtual
+  // seconds but must not lose the record or wedge the token ring.
+  simmpi::World world(2);
+  world.set_fault_plan(
+      simmpi::FaultPlan{}.stall(/*rank=*/0, /*at_call=*/1, /*seconds=*/0.25));
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::AggregatorOptions opts;
+    opts.capacity = 1;
+    simmpi::Aggregator<Record> agg(comm, opts);
+    if (comm.rank() == 0) {
+      agg.send(1, Record{9, 99});  // collective call 1: the stalled flush
+      EXPECT_DOUBLE_EQ(comm.stats().stall_seconds, 0.25);
+    }
+    const auto in = drain_until_quiescent(agg);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(in.size(), 1u);
+      EXPECT_EQ(in[0].payload, 99u);
+    }
+  });
+  EXPECT_EQ(world.injector()->events_fired(), 1u);
+}
+
+TEST(Quiescence, CrashDuringAsyncPhaseUnwindsEveryRank) {
+  // The victim dies at its first parcel deposit; the peer spinning in
+  // poll/advance must observe AbortedError instead of hanging, and the
+  // whole run surfaces the injected crash.
+  simmpi::World world(2);
+  world.set_fault_plan(simmpi::FaultPlan{}.crash(/*rank=*/1, /*at_call=*/1));
+  EXPECT_THROW(world.run([&](simmpi::Comm& comm) {
+                 simmpi::AggregatorOptions opts;
+                 opts.capacity = 1;
+                 simmpi::Aggregator<Record> agg(comm, opts);
+                 if (comm.rank() == 1) {
+                   agg.send(0, Record{1, 1});  // collective call 1: crash
+                 }
+                 (void)drain_until_quiescent(agg);
+               }),
+               simmpi::InjectedCrashError);
+  // The fault latch is one-shot: a fresh run over the same world completes.
+  world.run([&](simmpi::Comm& comm) {
+    simmpi::Aggregator<Record> agg(comm);
+    if (comm.rank() == 1) agg.send(0, Record{2, 4});
+    const auto in = drain_until_quiescent(agg);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(in.size(), 1u);
+    }
+  });
+}
+
+}  // namespace
