@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 #include "core/checkpoint.hpp"
 #include "simmpi/fault.hpp"
+#include "util/backoff.hpp"
 #include "util/options.hpp"
 
 namespace {
@@ -199,6 +200,13 @@ int main(int argc, char** argv) {
     });
   };
 
+  // Retries are paced by the shared backoff policy (util/backoff.hpp) so
+  // the drill charges the same simulated pause the resilient drivers do.
+  util::BackoffPolicy backoff;
+  backoff.base_seconds = 0.05;
+  backoff.seed = 0x9500;
+  double backoff_seconds = 0.0;
+
   util::Timer failed_attempt;
   try {
     attempt(nullptr, nullptr, nullptr);
@@ -206,7 +214,10 @@ int main(int argc, char** argv) {
     crashed = true;
     wasted_seconds = failed_attempt.seconds();
   }
-  if (crashed) attempt(&recovered, &recovery_stats, &recovery_seconds);
+  if (crashed) {
+    backoff_seconds = backoff.delay(1);
+    attempt(&recovered, &recovery_stats, &recovery_seconds);
+  }
 
   util::Table drill_table({"quantity", "value"});
   drill_table.row().add("root").add(static_cast<std::uint64_t>(root));
@@ -214,6 +225,7 @@ int main(int argc, char** argv) {
   drill_table.row().add("crash fired").add(crashed ? "yes" : "NO");
   drill_table.row().add("clean run seconds").add(clean_seconds, 4);
   drill_table.row().add("wasted attempt seconds").add(wasted_seconds, 4);
+  drill_table.row().add("backoff seconds (virtual)").add(backoff_seconds, 4);
   drill_table.row().add("recovery run seconds").add(recovery_seconds, 4);
   drill_table.row().add("restores").add(recovery_stats.restores);
   drill_table.row()
@@ -234,6 +246,7 @@ int main(int argc, char** argv) {
   drill_json["crash_fired"] = crashed;
   drill_json["clean_seconds"] = clean_seconds;
   drill_json["wasted_seconds"] = wasted_seconds;
+  drill_json["backoff_seconds"] = backoff_seconds;
   drill_json["recovery_seconds"] = recovery_seconds;
   drill_json["restores"] = recovery_stats.restores;
   drill_json["buckets_after_restore"] = recovery_stats.buckets_processed;

@@ -21,6 +21,13 @@
 //   (e) Does adaptive batching earn its keep?  The open-loop workload at
 //       every fixed batch size vs the rate-tracking controller: the
 //       adaptive run must match or beat the best fixed p99.
+//   (f) Does serving survive faults?  The chaos sweep: the same workload
+//       through the resilient driver under an injected crash/corrupt/
+//       stall schedule, against a fault-free reference.  Gates:
+//       availability >= --avail-floor, every exact (kServed) answer
+//       bit-identical to the reference, every degraded answer bracketed
+//       by its oracle lb/ub, and a restarted service adopting the
+//       persisted oracle slices with ZERO precompute waves.
 //
 // Everything lands in BENCH_serving.json (schema: docs/serving.md), gated
 // in CI by scripts/check_report_schema.py.
@@ -100,6 +107,13 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(options.get_int("oracle-queries", 24));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(options.get_int("seed", 0x5e21));
+  const double avail_floor = options.get_double("avail-floor", 0.9);
+  const int chaos_crashes = static_cast<int>(options.get_int("chaos-crashes", 3));
+  const int chaos_corruptions =
+      static_cast<int>(options.get_int("chaos-corruptions", 1));
+  const int chaos_stalls = static_cast<int>(options.get_int("chaos-stalls", 2));
+  const std::uint64_t chaos_horizon =
+      static_cast<std::uint64_t>(options.get_int("chaos-horizon", 800));
 
   graph::KroneckerParams params;
   params.scale = scale;
@@ -126,12 +140,23 @@ int main(int argc, char** argv) {
   bool adaptive_ok = false;
   bool ok = true;
 
+  // Exports for the chaos phase, which drives World::run itself (the
+  // retry loop must live outside the simulated machine).
+  std::vector<graph::VertexId> chaos_roots;
+  graph::VertexId chaos_num_vertices = 0;
+  std::size_t chaos_slice_entries = 0;
+
   simmpi::World world(ranks);
   world.run([&](simmpi::Comm& comm) {
     const graph::DistGraph g = graph::build_kronecker(comm, params);
     const auto roots =
         core::sample_roots(comm, g, universe, seed ^ 0x9500);
     if (roots.empty()) throw std::runtime_error("no eligible roots");
+    if (comm.rank() == 0) {
+      chaos_roots = roots;
+      chaos_num_vertices = g.num_vertices;
+      chaos_slice_entries = g.part.count(0);
+    }
 
     serve::WorkloadConfig wl;
     wl.seed = seed;
@@ -397,6 +422,162 @@ int main(int argc, char** argv) {
     }
   });
 
+  // ---- (f) chaos sweep: availability under injected faults ------------
+  // Fault-free reference, then the identical workload under a seeded
+  // crash/corrupt/stall schedule, then a cold restart adopting the
+  // persisted oracle slices.  All three go through the resilient driver
+  // so the only variable is the fault plan.
+  serve::WorkloadConfig chaos_wl;
+  chaos_wl.seed = seed;
+  chaos_wl.ticks = ticks;
+  chaos_wl.arrivals_per_tick = lambda;
+  chaos_wl.zipf_s = zipf;
+  chaos_wl.nearest_fraction = 0.125;
+  chaos_wl.deadline_ticks = 64;
+  chaos_wl.roots = chaos_roots;
+  chaos_wl.num_vertices = chaos_num_vertices;
+  const serve::Workload chaos_load(chaos_wl);
+
+  serve::ServeConfig chaos_cfg;
+  chaos_cfg.batch_size = 8;
+  chaos_cfg.queue_depth = 64;
+  chaos_cfg.max_wait_ticks = 4;
+  chaos_cfg.slo_ticks = 32;
+  chaos_cfg.cache_budget_bytes = chaos_slice_entries * sizeof(graph::Weight) *
+                                 (chaos_roots.size() + 1);
+  chaos_cfg.facilities.assign(
+      chaos_roots.begin(),
+      chaos_roots.begin() +
+          static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+              4, chaos_roots.size())));
+  chaos_cfg.oracle.num_landmarks = static_cast<std::size_t>(landmarks);
+  chaos_cfg.fault.enabled = true;
+  chaos_cfg.fault.checkpoint_interval = 2;
+  chaos_cfg.fault.max_wave_attempts = 3;
+  chaos_cfg.fault.degraded_answers = true;
+  chaos_cfg.fault.breaker_threshold = 3;
+  chaos_cfg.fault.breaker_cooldown_ticks = 8;
+  // Generous budget: the deadline propagates into every wave without
+  // truncating healthy ones at this scale.
+  chaos_cfg.fault.deadline_buckets_per_tick = 64;
+  chaos_cfg.fault.backoff.base_seconds = 0.001;
+  chaos_cfg.fault.backoff.seed = seed ^ 0xb0ff;
+
+  const auto build = [&params](simmpi::Comm& comm) {
+    return graph::build_kronecker(comm, params);
+  };
+
+  world.clear_fault_plan();
+  serve::ResilientServeOptions ref_opt;
+  ref_opt.keep_answers = true;
+  const auto ref_run =
+      serve::run_workload_resilient(world, build, chaos_cfg, chaos_load,
+                                    ref_opt);
+
+  std::vector<serve::OracleSliceStore> slice_stores;
+  serve::ResilientServeOptions chaos_opt;
+  chaos_opt.keep_answers = true;
+  chaos_opt.oracle_stores = &slice_stores;
+  simmpi::FaultPlan plan = simmpi::FaultPlan::random(
+      seed ^ 0xfa17, ranks, chaos_crashes, chaos_corruptions, chaos_stalls,
+      chaos_horizon);
+  // One scripted early crash guarantees the retry machinery is exercised
+  // even if the random schedule lands beyond the run's collective count.
+  plan.crash(ranks > 1 ? 1 : 0, 64);
+  world.enable_checksums(true);  // corruption must be detectable
+  world.set_fault_plan(plan);
+  const auto chaos_run =
+      serve::run_workload_resilient(world, build, chaos_cfg, chaos_load,
+                                    chaos_opt);
+  world.clear_fault_plan();
+
+  serve::ResilientServeOptions restart_opt;
+  restart_opt.oracle_stores = &slice_stores;
+  const auto restart_run =
+      serve::run_workload_resilient(world, build, chaos_cfg, chaos_load,
+                                    restart_opt);
+  world.enable_checksums(false);
+
+  // Gate 1: availability floor.
+  const double chaos_avail = chaos_run.availability.availability();
+  const bool avail_ok = chaos_avail >= avail_floor;
+  // Gate 2/3: compare by query id against the fault-free reference.
+  std::vector<float> ref_dist(chaos_load.trace().size(), 0.0f);
+  std::vector<std::uint8_t> ref_served(ref_dist.size(), 0);
+  for (const auto& a : ref_run.answers) {
+    if (a.id < ref_dist.size() && a.outcome == serve::Outcome::kServed) {
+      ref_dist[a.id] = a.distance;
+      ref_served[a.id] = 1;
+    }
+  }
+  bool exact_ok = true;
+  bool bracket_ok = true;
+  std::uint64_t exact_compared = 0;
+  std::uint64_t degraded_checked = 0;
+  for (const auto& a : chaos_run.answers) {
+    if (a.id >= ref_dist.size() || ref_served[a.id] == 0) continue;
+    const float ref = ref_dist[a.id];
+    if (a.outcome == serve::Outcome::kServed) {
+      // Float == is exact here: recovery must not move a single bit
+      // (+inf compares equal to +inf).
+      exact_ok = exact_ok && a.distance == ref;
+      ++exact_compared;
+    } else if (a.outcome == serve::Outcome::kDegraded) {
+      // The true distance must sit inside the reported bracket (tiny
+      // relative slack for float accumulation in the bound arithmetic).
+      bracket_ok = bracket_ok && a.lb <= ref * 1.00001f + 1e-6f &&
+                   ref <= a.ub * 1.00001f + 1e-6f;
+      ++degraded_checked;
+    }
+  }
+  // Gate 4: the fault plan actually bit (otherwise the sweep is vacuous).
+  const bool retried = chaos_run.availability.attempts >= 2;
+  // Gate 5: restart adopts the persisted slices — zero precompute waves.
+  const bool restart_ok =
+      restart_run.metrics.oracle_precompute_waves == 0 &&
+      restart_run.availability.oracle_restored;
+  const bool chaos_ok =
+      avail_ok && exact_ok && bracket_ok && retried && restart_ok;
+
+  util::Table chaos_table(
+      {"run", "attempts", "retries", "served", "degraded", "deadline",
+       "failed", "availability"});
+  const auto chaos_row = [&](const char* name,
+                             const serve::ServingRunReport& r) {
+    const auto& av = r.availability;
+    chaos_table.row()
+        .add(name)
+        .add(av.attempts)
+        .add(av.wave_retries)
+        .add(av.served)
+        .add(av.degraded)
+        .add(av.deadline_exceeded)
+        .add(av.failed)
+        .add(av.availability(), 4);
+  };
+  chaos_row("reference", ref_run);
+  chaos_row("chaos", chaos_run);
+  chaos_row("restart", restart_run);
+
+  util::Json cj = util::Json::object();
+  cj["avail_floor"] = avail_floor;
+  cj["availability"] = chaos_avail;
+  cj["attempts"] = chaos_run.availability.attempts;
+  cj["wave_retries"] = chaos_run.availability.wave_retries;
+  cj["waves_abandoned"] = chaos_run.availability.waves_abandoned;
+  cj["exact_bit_identical"] = exact_ok;
+  cj["exact_compared"] = exact_compared;
+  cj["degraded_bracketed"] = bracket_ok;
+  cj["degraded_checked"] = degraded_checked;
+  cj["faults_exercised"] = retried;
+  cj["restart_precompute_waves"] = restart_run.metrics.oracle_precompute_waves;
+  cj["oracle_restored"] = restart_run.availability.oracle_restored;
+  cj["chaos_ok"] = chaos_ok;
+  cj["reference"] = serve::to_json(ref_run);
+  cj["faulted"] = serve::to_json(chaos_run);
+  cj["restart"] = serve::to_json(restart_run);
+  report.doc()["serving"]["chaos"] = std::move(cj);
+
   warm_table.print(std::cout, "S1a: warm-cache drain throughput vs batch size"
                               ", scale " + std::to_string(scale) + ", " +
                               std::to_string(ranks) + " ranks");
@@ -416,6 +597,13 @@ int main(int argc, char** argv) {
                        "S1e: open-loop p99 — fixed batch sizes vs adaptive");
   std::cout << "\nExpected shape: the controller converges to the best fixed "
                "operating point\nwithout being told the arrival rate.\n\n";
+  chaos_table.print(std::cout,
+                    "S1f: chaos sweep — fault-free vs injected faults vs "
+                    "restart from persisted slices");
+  std::cout << "\nExpected shape: the chaos run keeps availability above the "
+               "floor, every exact\nanswer matches the reference bit for bit, "
+               "and the restart adopts the persisted\noracle slices with zero "
+               "precompute waves.\n\n";
 
   const double speedup = qps_b1 > 0.0 ? qps_b8 / qps_b1 : 0.0;
   std::cout << "batch-8 vs batch-1 warm throughput: " << speedup
@@ -429,10 +617,19 @@ int main(int argc, char** argv) {
   std::cout << "adaptive p99 " << adaptive_p99 << " vs best fixed p99 "
             << best_fixed_p99 << " (batch " << best_fixed_batch
             << ") -> " << (adaptive_ok ? "ok" : "NOT ok") << "\n";
+  std::cout << "chaos availability " << chaos_avail << " (floor "
+            << avail_floor << "), " << chaos_run.availability.attempts
+            << " attempts, exact answers "
+            << (exact_ok ? "bit-identical" : "DIVERGED") << " ("
+            << exact_compared << " compared), degraded "
+            << (bracket_ok ? "bracketed" : "OUT OF BRACKET") << " ("
+            << degraded_checked << " checked), restart precompute waves "
+            << restart_run.metrics.oracle_precompute_waves << " -> "
+            << (chaos_ok ? "ok" : "NOT ok") << "\n";
   const bool oracle_ok =
       oracle_bit_identical && relax_reduction > 0.0 && wire_reduction > 0.0;
   ok = speedup >= min_speedup && openloop_hit_rate > 0.0 && oracle_ok &&
-       adaptive_ok;
+       adaptive_ok && chaos_ok;
 
   report.doc()["speedup_batch8_vs_batch1"] = speedup;
   report.doc()["min_speedup"] = min_speedup;

@@ -72,6 +72,47 @@ SERVING_RUN_KEYS = (
     "relax_sent",
     "pruned_expand",
     "pruned_apply",
+    "availability",
+)
+# The availability block every serving run carries (docs/telemetry.md):
+# per-outcome counts plus the retry/breaker audit trail.
+SERVING_AVAILABILITY_KEYS = (
+    "served",
+    "degraded",
+    "deadline_exceeded",
+    "failed",
+    "shed",
+    "availability",
+    "attempts",
+    "wave_retries",
+    "waves_abandoned",
+    "breaker_opened",
+    "breaker_half_opened",
+    "breaker_closed",
+    "recovery_ticks",
+    "backoff_seconds",
+    "oracle_restored",
+)
+# serving.chaos: the fault-injection sweep — a faulted run must stay above
+# the availability floor with every exact answer bit-identical, and a
+# restart over the persisted oracle slices must skip the precompute waves.
+SERVING_CHAOS_KEYS = (
+    "avail_floor",
+    "availability",
+    "attempts",
+    "wave_retries",
+    "waves_abandoned",
+    "exact_bit_identical",
+    "exact_compared",
+    "degraded_bracketed",
+    "degraded_checked",
+    "faults_exercised",
+    "restart_precompute_waves",
+    "oracle_restored",
+    "chaos_ok",
+    "reference",
+    "faulted",
+    "restart",
 )
 # breakdown.async: the gated async-vs-sync comparison (docs/async.md) —
 # distances must be bit-identical with strictly fewer global collectives.
@@ -170,6 +211,43 @@ def check_replay_async(doc, path, errors):
                 errors.append(f"{path}: replay async p2p missing '{key}'")
 
 
+def check_serving_run(run, where, path, errors):
+    """One serving run dict: engine-work counters plus the availability block."""
+    for key in SERVING_RUN_KEYS:
+        if key not in run:
+            errors.append(f"{path}: {where} missing '{key}'")
+    avail = run.get("availability")
+    if not isinstance(avail, dict):
+        return
+    for key in SERVING_AVAILABILITY_KEYS:
+        if key not in avail:
+            errors.append(f"{path}: {where} availability missing '{key}'")
+
+
+def check_serving_chaos(serving, path, errors):
+    chaos = serving.get("chaos")
+    if not isinstance(chaos, dict):
+        errors.append(f"{path}: serving section missing 'chaos'")
+        return
+    for key in SERVING_CHAOS_KEYS:
+        if key not in chaos:
+            errors.append(f"{path}: serving chaos missing '{key}'")
+    if chaos.get("chaos_ok") is not True:
+        errors.append(f"{path}: serving chaos sweep did not pass (chaos_ok)")
+    if chaos.get("exact_bit_identical") is not True:
+        errors.append(f"{path}: chaos exact answers not bit_identical")
+    floor = chaos.get("avail_floor")
+    avail = chaos.get("availability")
+    if isinstance(floor, (int, float)) and isinstance(avail, (int, float)):
+        if avail < floor:
+            errors.append(
+                f"{path}: chaos availability {avail} below floor {floor}")
+    for mode in ("reference", "faulted", "restart"):
+        run = chaos.get(mode)
+        if isinstance(run, dict):
+            check_serving_run(run, f"serving chaos.{mode}", path, errors)
+
+
 def check_serving(doc, path, errors):
     serving = doc.get("serving")
     if not isinstance(serving, dict):
@@ -188,9 +266,7 @@ def check_serving(doc, path, errors):
             errors.append(f"{path}: serving cache missing '{key}'")
     run = serving.get("run")
     if isinstance(run, dict):
-        for key in SERVING_RUN_KEYS:
-            if key not in run:
-                errors.append(f"{path}: serving run missing '{key}'")
+        check_serving_run(run, "serving run", path, errors)
     oracle = serving.get("oracle")
     if not isinstance(oracle, dict):
         errors.append(f"{path}: serving section missing 'oracle'")
@@ -201,10 +277,7 @@ def check_serving(doc, path, errors):
         for mode in ("off", "on"):
             run = oracle.get(mode)
             if isinstance(run, dict):
-                for key in SERVING_RUN_KEYS:
-                    if key not in run:
-                        errors.append(
-                            f"{path}: serving oracle.{mode} missing '{key}'")
+                check_serving_run(run, f"serving oracle.{mode}", path, errors)
         if oracle.get("bit_identical") is not True:
             errors.append(f"{path}: serving oracle answers not bit_identical")
     adaptive = serving.get("adaptive")
@@ -214,6 +287,7 @@ def check_serving(doc, path, errors):
         for key in SERVING_ADAPTIVE_KEYS:
             if key not in adaptive:
                 errors.append(f"{path}: serving adaptive missing '{key}'")
+    check_serving_chaos(serving, path, errors)
 
 
 def check_file(path, errors):

@@ -103,6 +103,16 @@ class Engine {
       const std::uint64_t k_local = queue_.next_nonempty(k_hint);
       const std::uint64_t k = comm_.allreduce_min(k_local);
       if (k == BucketQueue::kNone) break;
+      // Deadline budget: every rank sees the same allreduce-agreed k and
+      // the same local bucket count (epochs are global), so this break is
+      // taken (or not) by all ranks in lockstep — no collective skew.
+      // Distances strictly below k * delta are already exactly settled.
+      if (config_.deadline_buckets != 0 &&
+          stats_.buckets_processed >= config_.deadline_buckets) {
+        ++stats_.deadline_stops;
+        stats_.settled_bound = static_cast<double>(k) * delta_;
+        break;
+      }
       ++stats_.buckets_processed;
       if (config_.max_buckets != 0 &&
           stats_.buckets_processed > config_.max_buckets) {

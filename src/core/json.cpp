@@ -16,6 +16,7 @@ util::Json to_json(const SsspConfig& config) {
   j["aggregator_capacity"] = config.aggregator_capacity;
   j["aggregator_max_age"] = config.aggregator_max_age;
   j["max_buckets"] = config.max_buckets;
+  j["deadline_buckets"] = config.deadline_buckets;
   j["checkpoint_interval"] = config.checkpoint_interval;
   j["collect_bucket_trace"] = config.collect_bucket_trace;
   return j;
@@ -63,6 +64,8 @@ util::Json to_json(const SsspStats& stats) {
   j["pruned_apply"] = stats.pruned_apply;
   j["checkpoints"] = stats.checkpoints;
   j["restores"] = stats.restores;
+  j["deadline_stops"] = stats.deadline_stops;
+  j["settled_bound"] = stats.settled_bound;
   j["global_collectives"] = stats.global_collectives;
   j["sub_rounds"] = stats.sub_rounds;
   j["aggregator_flush_capacity"] = stats.aggregator_flush_capacity;
@@ -107,6 +110,9 @@ util::Json to_json(const BenchmarkReport& report) {
   j["recovered_roots"] = report.recovered_roots;
   j["failed_roots"] = report.failed_roots;
   j["backoff_seconds"] = report.backoff_seconds;
+  util::Json backoffs = util::Json::array();
+  for (const auto d : report.attempt_backoffs) backoffs.push_back(d);
+  j["attempt_backoffs"] = std::move(backoffs);
   util::Json runs = util::Json::array();
   for (const auto& run : report.runs) runs.push_back(to_json(run));
   j["runs"] = std::move(runs);

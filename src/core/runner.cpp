@@ -45,14 +45,15 @@ std::vector<VertexId> sample_roots(simmpi::Comm& comm,
 
 SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   // Counters: element-wise sum.  Histogram: fixed 64-slot projection.
-  std::array<std::uint64_t, 19> counters = {
+  std::array<std::uint64_t, 20> counters = {
       local.buckets_processed, local.light_iterations, local.heavy_phases,
       local.push_rounds,       local.pull_rounds,      local.relax_generated,
       local.relax_sent,        local.relax_received,   local.relax_applied,
       local.fused_local,       local.filtered_hub,     local.filtered_coalesce,
       local.frontier_broadcast, local.checkpoints,     local.restores,
       local.global_collectives, local.sub_rounds,
-      local.aggregator_flush_capacity, local.aggregator_flush_timeout};
+      local.aggregator_flush_capacity, local.aggregator_flush_timeout,
+      local.deadline_stops};
   std::vector<std::uint64_t> payload(counters.begin(), counters.end());
   payload.resize(counters.size() + 64, 0);
   const auto& buckets = local.frontier_hist.buckets();
@@ -91,6 +92,8 @@ SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
   // Flushes are traffic-like: sum over ranks.
   total.aggregator_flush_capacity = summed[17];
   total.aggregator_flush_timeout = summed[18];
+  // Deadline stops are epoch-synchronous (taken at an allreduce-agreed k).
+  total.deadline_stops = summed[19] / P;
   for (std::size_t i = 0; i < 64; ++i) {
     // Every rank records the same global frontier size per round; undo the
     // P-fold duplication.
@@ -99,6 +102,7 @@ SsspStats global_stats(simmpi::Comm& comm, const SsspStats& local) {
       total.frontier_hist.add(i == 0 ? 0 : (std::uint64_t{1} << i), c);
     }
   }
+  total.settled_bound = comm.allreduce_min(local.settled_bound);
   total.total_seconds =
       comm.allreduce_max(local.total_seconds);
   total.light_seconds = comm.allreduce_max(local.light_seconds);
@@ -211,6 +215,16 @@ BenchmarkReport run_benchmark_resilient(
   BenchmarkReport report;
   report.num_ranks = P;
 
+  // Shared backoff schedule (jittered, deterministic in the seed): one
+  // global retry counter drives the exponential ramp across both phases.
+  const util::BackoffPolicy backoff = options.backoff_policy();
+  std::uint64_t retries = 0;
+  auto charge_backoff = [&]() {
+    const double d = backoff.delay(++retries);
+    report.backoff_seconds += d;
+    report.attempt_backoffs.push_back(d);
+  };
+
   // ---- Phase A: build the graph and agree on the search keys. ---------
   std::vector<VertexId> roots;
   bool setup_done = false;
@@ -230,7 +244,7 @@ BenchmarkReport run_benchmark_resilient(
       setup_done = true;
     } catch (...) {
       if (attempt >= max_attempts) throw;  // never even built the graph
-      report.backoff_seconds += options.retry_backoff_seconds;
+      charge_backoff();
     }
   }
 
@@ -299,7 +313,7 @@ BenchmarkReport run_benchmark_resilient(
     }
     if (!run_failed) break;  // every root on the work list completed
 
-    report.backoff_seconds += options.retry_backoff_seconds;
+    charge_backoff();
     const std::size_t victim = first_undone();
     if (victim >= n) break;  // died after the last root's bookkeeping
     if (++failures[victim] >= max_attempts) {

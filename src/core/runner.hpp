@@ -16,6 +16,7 @@
 #include "core/sssp_types.hpp"
 #include "graph/builder.hpp"
 #include "simmpi/comm.hpp"
+#include "util/backoff.hpp"
 
 namespace g500::core {
 
@@ -38,7 +39,26 @@ struct RunnerOptions {
   int max_attempts = 3;
   /// Virtual delay charged per retry, mirroring a real machine's restart
   /// latency.  Recorded in BenchmarkReport::backoff_seconds, not slept.
+  /// This is the BASE of a seeded exponential-backoff-with-jitter schedule
+  /// (util::BackoffPolicy) shared with bench_recovery and the serving
+  /// layer's wave retry; the knobs below shape it.
   double retry_backoff_seconds = 0.0;
+  /// Growth factor per consecutive retry.
+  double retry_backoff_multiplier = 2.0;
+  /// Cap on the un-jittered delay.
+  double retry_backoff_max_seconds = 60.0;
+  /// Fraction of each delay subject to deterministic jitter ([0, 1]);
+  /// 0 reproduces the old fixed-backoff behaviour exactly.
+  double retry_backoff_jitter = 0.5;
+  /// Seed of the jitter stream (pure function of (seed, attempt)).
+  std::uint64_t retry_backoff_seed = 0x0b0f;
+
+  /// The schedule the resilient driver charges retries against.
+  [[nodiscard]] util::BackoffPolicy backoff_policy() const {
+    return {retry_backoff_seconds, retry_backoff_multiplier,
+            retry_backoff_max_seconds, retry_backoff_jitter,
+            retry_backoff_seed};
+  }
 };
 
 /// Outcome of one root.
@@ -73,6 +93,9 @@ struct BenchmarkReport {
   int failed_roots = 0;
   /// Virtual retry backoff charged across all attempts (not slept).
   double backoff_seconds = 0.0;
+  /// Per-retry backoff actually charged, in order (jitter included) —
+  /// the audit trail of the exponential schedule.
+  std::vector<double> attempt_backoffs;
 
   /// Graph500-style summary block.
   void print(std::ostream& out) const;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -79,6 +80,16 @@ struct SsspConfig {
   /// Safety valve: abort after this many global buckets (0 = unlimited).
   std::uint64_t max_buckets = 0;
 
+  /// Deadline budget: stop *gracefully* after this many global bucket
+  /// epochs (0 = unlimited).  Unlike max_buckets this is not an error —
+  /// the engine breaks out of the bucket loop at the allreduce-agreed
+  /// epoch (so every rank stops at the same point), records the settled
+  /// frontier in SsspStats::settled_bound, and returns the partial
+  /// distance vector.  Every vertex with dist < settled_bound holds its
+  /// exact distance; everything beyond is a (possibly infinite) upper
+  /// bound.  The serving layer uses this to honour per-query deadlines.
+  std::uint64_t deadline_buckets = 0;
+
   /// Snapshot the engine state every N completed bucket epochs so a crashed
   /// run can restart from the last checkpoint instead of from scratch
   /// (0 = checkpointing off).  Only honoured by the checkpointed entry
@@ -145,6 +156,13 @@ struct SsspStats {
 
   std::uint64_t checkpoints = 0;       ///< snapshots taken this run
   std::uint64_t restores = 0;          ///< runs resumed from a snapshot
+  std::uint64_t deadline_stops = 0;    ///< runs truncated by deadline_buckets
+
+  /// When the run stopped at its deadline budget, the bucket boundary
+  /// k * delta at which it broke: distances strictly below this value are
+  /// exactly settled, larger ones are only upper bounds.  Infinity for a
+  /// run that completed normally (every distance exact).
+  double settled_bound = std::numeric_limits<double>::infinity();
 
   /// Global synchronization rounds (collective calls) this run charged —
   /// the quantity the async engine exists to shrink.  Identical on every
@@ -187,6 +205,8 @@ struct SsspStats {
     pruned_apply += other.pruned_apply;
     checkpoints += other.checkpoints;
     restores += other.restores;
+    deadline_stops += other.deadline_stops;
+    settled_bound = std::min(settled_bound, other.settled_bound);
     global_collectives += other.global_collectives;
     sub_rounds += other.sub_rounds;
     aggregator_flush_capacity += other.aggregator_flush_capacity;

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "serve/fault.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
 #include "simmpi/comm.hpp"
@@ -21,6 +23,11 @@ struct ServingRunReport {
   std::vector<Answer> answers;  ///< kept only when requested
   std::uint64_t ticks_run = 0;  ///< arrival horizon plus the drain tail
   double wall_seconds = 0.0;    ///< serving loop only (graph build excluded)
+
+  /// How every query of the workload ultimately ended plus the
+  /// retry/breaker audit trail.  run_workload fills the outcome counters
+  /// (one attempt, no faults); run_workload_resilient fills everything.
+  AvailabilityStats availability;
 
   /// Wire bytes all ranks moved during the serving loop (comm-stats delta
   /// summed over ranks) — the cost side of the oracle's pruning ledger.
@@ -47,5 +54,38 @@ struct ServingRunReport {
                                             const Workload& workload,
                                             bool keep_answers = false,
                                             DistanceService* service = nullptr);
+
+/// Knobs of the fault-tolerant workload driver.
+struct ResilientServeOptions {
+  /// Hard cap on World::run launches (a recurring fault plan must not
+  /// spin forever).  When the budget runs out, every query still
+  /// unresolved is counted as failed in the availability block.
+  int max_attempts = 32;
+
+  bool keep_answers = false;
+
+  /// Caller-owned oracle persistence slots, one per rank (nullptr = the
+  /// driver uses private slots that die with the call).  A first run
+  /// populates them; a later run over the same graph/config adopts them
+  /// and skips the oracle precompute waves entirely.
+  std::vector<OracleSliceStore>* oracle_stores = nullptr;
+};
+
+/// Fault-tolerant variant of run_workload: owns the World::run retry loop
+/// (the simulated machine cannot survive a fault in place), so it must be
+/// called from OUTSIDE World::run.  Crashed attempts restart the world,
+/// rebuild the graph via `build_graph`, re-admit the unresolved backlog,
+/// and resume the tick loop from the first un-harvested tick; the wave
+/// that was in flight resumes from its last checkpoint (bit-identical to
+/// an undisturbed run), retries are paced by config.fault.backoff, keys
+/// that exhaust config.fault.max_wave_attempts are abandoned (their
+/// queries degrade or fail), and crash streaks drive the circuit breaker.
+/// The returned metrics/availability merge every attempt; wire_bytes
+/// includes the graph rebuild traffic of each attempt.
+[[nodiscard]] ServingRunReport run_workload_resilient(
+    simmpi::World& world,
+    const std::function<graph::DistGraph(simmpi::Comm&)>& build_graph,
+    const ServeConfig& config, const Workload& workload,
+    const ResilientServeOptions& options = {});
 
 }  // namespace g500::serve

@@ -49,6 +49,25 @@ util::Json to_json(const ServeConfig& config) {
   adaptive["ewma_alpha"] = config.adaptive.ewma_alpha;
   adaptive["adjust_period"] = config.adaptive.adjust_period;
   j["adaptive"] = std::move(adaptive);
+  j["shed_log_cap"] = static_cast<std::uint64_t>(config.shed_log_cap);
+  util::Json fault = util::Json::object();
+  fault["enabled"] = config.fault.enabled;
+  fault["checkpoint_interval"] = config.fault.checkpoint_interval;
+  fault["max_wave_attempts"] =
+      static_cast<std::int64_t>(config.fault.max_wave_attempts);
+  fault["degraded_answers"] = config.fault.degraded_answers;
+  fault["breaker_threshold"] =
+      static_cast<std::int64_t>(config.fault.breaker_threshold);
+  fault["breaker_cooldown_ticks"] = config.fault.breaker_cooldown_ticks;
+  fault["deadline_buckets_per_tick"] = config.fault.deadline_buckets_per_tick;
+  util::Json backoff = util::Json::object();
+  backoff["base_seconds"] = config.fault.backoff.base_seconds;
+  backoff["multiplier"] = config.fault.backoff.multiplier;
+  backoff["max_seconds"] = config.fault.backoff.max_seconds;
+  backoff["jitter"] = config.fault.backoff.jitter;
+  backoff["seed"] = config.fault.backoff.seed;
+  fault["backoff"] = std::move(backoff);
+  j["fault"] = std::move(fault);
   return j;
 }
 
@@ -60,8 +79,29 @@ util::Json to_json(const WorkloadConfig& config) {
   j["arrivals_per_tick"] = config.arrivals_per_tick;
   j["zipf_s"] = config.zipf_s;
   j["nearest_fraction"] = config.nearest_fraction;
+  j["deadline_ticks"] = config.deadline_ticks;
   j["root_universe"] = static_cast<std::uint64_t>(config.roots.size());
   j["num_vertices"] = config.num_vertices;
+  return j;
+}
+
+util::Json to_json(const AvailabilityStats& stats) {
+  util::Json j = util::Json::object();
+  j["served"] = stats.served;
+  j["degraded"] = stats.degraded;
+  j["deadline_exceeded"] = stats.deadline_exceeded;
+  j["failed"] = stats.failed;
+  j["shed"] = stats.shed;
+  j["availability"] = stats.availability();
+  j["attempts"] = stats.attempts;
+  j["wave_retries"] = stats.wave_retries;
+  j["waves_abandoned"] = stats.waves_abandoned;
+  j["breaker_opened"] = stats.breaker_opened;
+  j["breaker_half_opened"] = stats.breaker_half_opened;
+  j["breaker_closed"] = stats.breaker_closed;
+  j["recovery_ticks"] = stats.recovery_ticks;
+  j["backoff_seconds"] = stats.backoff_seconds;
+  j["oracle_restored"] = stats.oracle_restored;
   return j;
 }
 
@@ -100,6 +140,14 @@ util::Json to_json(const ServiceMetrics& metrics) {
   j["oracle_exact"] = metrics.oracle_exact;
   j["oracle_unreachable"] = metrics.oracle_unreachable;
   j["adaptive_adjustments"] = metrics.adaptive_adjustments;
+  j["deadline_exceeded"] = metrics.deadline_exceeded;
+  j["degraded"] = metrics.degraded;
+  j["failed_queries"] = metrics.failed_queries;
+  j["shed_log_overflow"] = metrics.shed_log_overflow;
+  j["deadline_truncated_waves"] = metrics.deadline_truncated_waves;
+  j["wave_resumes"] = metrics.wave_resumes;
+  j["breaker_half_opened"] = metrics.breaker_half_opened;
+  j["breaker_closed"] = metrics.breaker_closed;
   j["wave_seconds"] = metrics.wave_seconds;
   j["fetch_seconds"] = metrics.fetch_seconds;
   j["oracle_seconds"] = metrics.oracle_seconds;
@@ -129,6 +177,7 @@ util::Json to_json(const ServingRunReport& report) {
   j["pruned_expand"] = report.pruned_expand;
   j["pruned_apply"] = report.pruned_apply;
   j["metrics"] = to_json(report.metrics);
+  j["availability"] = to_json(report.availability);
   return j;
 }
 

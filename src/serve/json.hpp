@@ -29,7 +29,12 @@ constexpr int kServingSchemaVersion = 1;
 /// Service counters plus the interpolated p50/p90/p99 of each histogram.
 [[nodiscard]] util::Json to_json(const ServiceMetrics& metrics);
 
-/// One workload run: metrics, ticks, wall seconds, throughput_qps.
+/// Availability block: per-outcome counts, the availability ratio and the
+/// retry/breaker audit trail.
+[[nodiscard]] util::Json to_json(const AvailabilityStats& stats);
+
+/// One workload run: metrics, availability, ticks, wall seconds,
+/// throughput_qps.
 [[nodiscard]] util::Json to_json(const ServingRunReport& report);
 
 }  // namespace g500::serve

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/remote.hpp"
+#include "util/random.hpp"
 #include "util/timer.hpp"
 
 namespace g500::serve {
@@ -31,7 +33,8 @@ Candidate better(Candidate a, Candidate b) {
 
 LandmarkOracle::LandmarkOracle(simmpi::Comm& comm, const graph::DistGraph& g,
                                const OracleConfig& config,
-                               const core::SsspConfig& sssp)
+                               const core::SsspConfig& sssp,
+                               OracleSliceStore* store)
     : comm_(comm), g_(g), config_(config), sssp_(sssp) {
   if (config_.num_landmarks == 0) {
     throw std::invalid_argument("LandmarkOracle: num_landmarks must be >= 1");
@@ -40,9 +43,25 @@ LandmarkOracle::LandmarkOracle(simmpi::Comm& comm, const graph::DistGraph& g,
     throw std::invalid_argument(
         "LandmarkOracle: prune_slack must be in [0, 1)");
   }
-  // Precompute waves must never themselves be pruned.
+  // Precompute waves must never themselves be pruned or truncated.
   sssp_.prune_lb = nullptr;
   sssp_.prune_budget = graph::kInfDistance;
+  sssp_.deadline_buckets = 0;
+
+  if (store != nullptr && store->valid()) {
+    // Adoption must be all-or-nothing across ranks: slices feed
+    // collective row fetches, and a rank recomputing while another
+    // adopts would desync the precompute collective schedule.
+    const bool mine = try_adopt(*store);
+    if (!comm_.allreduce_or(!mine)) {
+      restored_ = true;
+      return;  // zero precompute waves
+    }
+    // Some rank's digest gate failed: drop the blob and recompute.
+    landmarks_.clear();
+    slices_.clear();
+    store->clear();
+  }
 
   util::Timer timer;
   const auto want = static_cast<std::size_t>(
@@ -87,6 +106,105 @@ LandmarkOracle::LandmarkOracle(simmpi::Comm& comm, const graph::DistGraph& g,
     slices_.push_back(std::move(wave.dist));
   }
   precompute_seconds_ = timer.seconds();
+  if (store != nullptr) save(*store);
+}
+
+std::uint64_t LandmarkOracle::identity_digest() const {
+  std::uint64_t h = util::hash64(OracleSliceStore::kFormatVersion,
+                                 g_.num_vertices);
+  h = util::hash64(h, static_cast<std::uint64_t>(g_.csr.num_local()));
+  h = util::hash64(h, static_cast<std::uint64_t>(config_.num_landmarks));
+  // Slice bits depend on the effective wave configuration; a blob from a
+  // differently-tuned engine could differ in the last float bits and
+  // silently break the oracle's bit-identity guarantees.
+  std::uint64_t delta_bits = 0;
+  static_assert(sizeof(delta_bits) == sizeof(sssp_.delta));
+  std::memcpy(&delta_bits, &sssp_.delta, sizeof(delta_bits));
+  h = util::hash64(h, delta_bits);
+  const std::uint64_t flags = (sssp_.coalesce ? 1u : 0u) |
+                              (sssp_.hub_cache ? 2u : 0u) |
+                              (sssp_.direction_opt ? 4u : 0u) |
+                              (sssp_.local_fusion ? 8u : 0u) |
+                              (sssp_.compress ? 16u : 0u);
+  h = util::hash64(h, flags,
+                   static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(sssp_.hierarchical_group)));
+  return h;
+}
+
+void LandmarkOracle::save(OracleSliceStore& store) const {
+  auto& b = store.blob;
+  b.clear();
+  const auto put_u64 = [&b](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    b.insert(b.end(), p, p + sizeof(v));
+  };
+  put_u64(OracleSliceStore::kFormatVersion);
+  put_u64(identity_digest());
+  put_u64(landmarks_.size());
+  const std::uint64_t local_n =
+      slices_.empty() ? 0 : static_cast<std::uint64_t>(slices_[0].size());
+  put_u64(local_n);
+  for (const auto lm : landmarks_) put_u64(static_cast<std::uint64_t>(lm));
+  for (const auto& slice : slices_) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(slice.data());
+    b.insert(b.end(), p, p + slice.size() * sizeof(graph::Weight));
+  }
+  // Trailing checksum over everything above guards against bit rot.
+  put_u64(util::hash_bytes(b.data(), b.size()));
+}
+
+bool LandmarkOracle::try_adopt(const OracleSliceStore& store) {
+  const auto& b = store.blob;
+  std::size_t off = 0;
+  const auto get_u64 = [&b, &off](std::uint64_t& v) {
+    if (off + sizeof(v) > b.size()) return false;
+    std::memcpy(&v, b.data() + off, sizeof(v));
+    off += sizeof(v);
+    return true;
+  };
+  std::uint64_t version = 0;
+  std::uint64_t identity = 0;
+  std::uint64_t K = 0;
+  std::uint64_t local_n = 0;
+  if (!get_u64(version) || version != OracleSliceStore::kFormatVersion) {
+    return false;
+  }
+  if (!get_u64(identity) || identity != identity_digest()) return false;
+  if (!get_u64(K) || !get_u64(local_n)) return false;
+  if (K == 0 || K > config_.num_landmarks ||
+      local_n != static_cast<std::uint64_t>(g_.csr.num_local())) {
+    return false;
+  }
+  const std::size_t expected = 4 * sizeof(std::uint64_t) +
+                               K * sizeof(std::uint64_t) +
+                               K * local_n * sizeof(graph::Weight) +
+                               sizeof(std::uint64_t);
+  if (b.size() != expected) return false;
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, b.data() + b.size() - sizeof(stored_sum),
+              sizeof(stored_sum));
+  if (util::hash_bytes(b.data(), b.size() - sizeof(stored_sum)) !=
+      stored_sum) {
+    return false;
+  }
+
+  landmarks_.clear();
+  landmarks_.reserve(K);
+  for (std::uint64_t k = 0; k < K; ++k) {
+    std::uint64_t lm = 0;
+    (void)get_u64(lm);
+    if (lm >= g_.num_vertices) return false;
+    landmarks_.push_back(static_cast<graph::VertexId>(lm));
+  }
+  slices_.assign(K, {});
+  for (std::uint64_t k = 0; k < K; ++k) {
+    slices_[k].resize(local_n);
+    std::memcpy(slices_[k].data(), b.data() + off,
+                local_n * sizeof(graph::Weight));
+    off += local_n * sizeof(graph::Weight);
+  }
+  return true;
 }
 
 std::vector<std::vector<graph::Weight>> LandmarkOracle::landmark_distances(

@@ -35,6 +35,7 @@
 #include "core/delta_stepping.hpp"
 #include "core/sssp_types.hpp"
 #include "graph/builder.hpp"
+#include "serve/fault.hpp"
 #include "simmpi/comm.hpp"
 
 namespace g500::serve {
@@ -69,8 +70,16 @@ class LandmarkOracle {
   /// Collective: selects the landmarks and runs one wave per landmark to
   /// precompute this rank's owned distance slices.  `sssp` supplies the
   /// engine knobs for those waves (any pruning fields are ignored).
+  ///
+  /// When `store` is non-null it is this rank's persistence slot: a valid
+  /// blob whose digest gate passes (format version, graph shape, landmark
+  /// config and wave-relevant engine knobs all match, checksum intact —
+  /// agreed across ranks, so no rank recomputes while another adopts) is
+  /// adopted with ZERO precompute waves; otherwise the slices are
+  /// recomputed and saved back into the slot.
   LandmarkOracle(simmpi::Comm& comm, const graph::DistGraph& g,
-                 const OracleConfig& config, const core::SsspConfig& sssp);
+                 const OracleConfig& config, const core::SsspConfig& sssp,
+                 OracleSliceStore* store = nullptr);
 
   /// Landmark-distance rows for `vertices`: out[i][k] = d(L_k,
   /// vertices[i]).  One batched collective fetch for the whole list;
@@ -106,7 +115,8 @@ class LandmarkOracle {
     return landmarks_;
   }
 
-  /// Waves spent selecting landmarks and precomputing slices.
+  /// Waves spent selecting landmarks and precomputing slices (0 when the
+  /// slices were adopted from a persisted store).
   [[nodiscard]] std::uint64_t precompute_waves() const noexcept {
     return precompute_waves_;
   }
@@ -114,7 +124,26 @@ class LandmarkOracle {
     return precompute_seconds_;
   }
 
+  /// True when this oracle skipped precompute by adopting a store blob.
+  [[nodiscard]] bool restored_from_store() const noexcept {
+    return restored_;
+  }
+
+  /// Serialize landmarks and this rank's slices into `store` (versioned
+  /// blob, identity digest, trailing checksum).  Called automatically by
+  /// the constructor when it was given a slot; exposed for tests.
+  void save(OracleSliceStore& store) const;
+
  private:
+  /// Digest pinning what a stored blob must have been computed from:
+  /// format version, graph shape, landmark request and the engine knobs
+  /// that affect slice bits.
+  [[nodiscard]] std::uint64_t identity_digest() const;
+
+  /// Rank-local half of the adopt gate: parse + verify `store` and load
+  /// landmarks_/slices_ on success.
+  [[nodiscard]] bool try_adopt(const OracleSliceStore& store);
+
   simmpi::Comm& comm_;
   const graph::DistGraph& g_;
   OracleConfig config_;
@@ -126,6 +155,7 @@ class LandmarkOracle {
 
   std::uint64_t precompute_waves_ = 0;
   double precompute_seconds_ = 0.0;
+  bool restored_ = false;
 };
 
 }  // namespace g500::serve

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -16,36 +17,50 @@ constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
 }  // namespace
 
 DistanceService::DistanceService(simmpi::Comm& comm,
-                                 const graph::DistGraph& g, ServeConfig config)
+                                 const graph::DistGraph& g, ServeConfig config,
+                                 FaultContext* fault)
     : comm_(comm),
       g_(g),
       config_(std::move(config)),
       // Charge every entry the widest owned slice so residency decisions
       // are rank-independent (see cache.hpp).
       cache_(config_.cache_budget_bytes,
-             g.part.count(0) * sizeof(graph::Weight)) {
+             g.part.count(0) * sizeof(graph::Weight)),
+      fault_(fault) {
   if (config_.queue_depth == 0) {
     throw std::invalid_argument("DistanceService: queue_depth must be >= 1");
   }
   if (config_.batch_size == 0) {
     throw std::invalid_argument("DistanceService: batch_size must be >= 1");
   }
+  if (config_.shed_log_cap == 0) {
+    throw std::invalid_argument("DistanceService: shed_log_cap must be >= 1");
+  }
+  if (config_.fault.max_wave_attempts < 1) {
+    throw std::invalid_argument(
+        "DistanceService: max_wave_attempts must be >= 1");
+  }
   for (const auto f : config_.facilities) {
     if (f >= g_.num_vertices) {
       throw std::out_of_range("DistanceService: facility out of range");
     }
   }
-  // Pruning is owned by the service (per-batch bounds); a caller-supplied
-  // slice would dangle and poison every wave.
+  // Pruning, deadline truncation and checkpointing are owned by the
+  // service (per-batch decisions); caller-supplied values would dangle or
+  // desync the waves.
   config_.sssp.prune_lb = nullptr;
   config_.sssp.prune_budget = graph::kInfDistance;
+  config_.sssp.deadline_buckets = 0;
+  config_.sssp.checkpoint_interval = 0;
   if (config_.oracle.num_landmarks > 0) {
-    oracle_.emplace(comm_, g_, config_.oracle, config_.sssp);
+    oracle_.emplace(comm_, g_, config_.oracle, config_.sssp,
+                    fault_ != nullptr ? fault_->oracle_store : nullptr);
   }
   if (config_.adaptive.enabled) {
     controller_.emplace(config_.adaptive, config_.batch_size,
                         config_.max_wait_ticks);
   }
+  if (fault_ != nullptr) breaker_ = fault_->breaker;
 }
 
 bool DistanceService::submit(const Query& q) {
@@ -64,17 +79,58 @@ bool DistanceService::submit(const Query& q) {
   if (queue_.size() >= config_.queue_depth) {
     if (config_.shed_policy == ShedPolicy::kRejectNew) {
       ++metrics_.shed;
-      shed_log_.push_back(q);
+      log_shed(q);
       return false;
     }
     // kDropOldest: the longest waiter is shed to make room.
     ++metrics_.shed;
-    shed_log_.push_back(queue_.front());
+    log_shed(queue_.front());
     queue_.pop_front();
   }
   ++metrics_.admitted;
   queue_.push_back(q);
   return true;
+}
+
+void DistanceService::log_shed(const Query& q) {
+  if (shed_log_.size() >= config_.shed_log_cap) {
+    ++metrics_.shed_log_overflow;
+    return;
+  }
+  shed_log_.push_back(q);
+}
+
+void DistanceService::restore_backlog(const std::vector<Query>& backlog) {
+  for (const auto& q : backlog) {
+    if (q.target >= g_.num_vertices ||
+        (q.kind == QueryKind::kPointToPoint && q.root >= g_.num_vertices)) {
+      throw std::out_of_range("DistanceService: backlog vertex out of range");
+    }
+    queue_.push_back(q);
+  }
+}
+
+bool DistanceService::is_abandoned(graph::VertexId key) const noexcept {
+  if (fault_ == nullptr) return false;
+  if (key == facility_key()) return fault_->facility_abandoned;
+  return std::find(fault_->abandoned.begin(), fault_->abandoned.end(), key) !=
+         fault_->abandoned.end();
+}
+
+core::CheckpointState* DistanceService::snapshot_for(
+    graph::VertexId key) const noexcept {
+  if (fault_ == nullptr || fault_->snapshot == nullptr ||
+      !config_.fault.enabled) {
+    return nullptr;
+  }
+  // The slot holds a crashed wave's progress: only the matching wave may
+  // touch it (any other wave's digest check would clear it).  Once the
+  // resume consumed it (the engine clears a completed run's snapshot),
+  // every wave can checkpoint into the free slot again.
+  if (fault_->snapshot->valid && (!fault_->has_resume || key != fault_->resume_key)) {
+    return nullptr;
+  }
+  return fault_->snapshot;
 }
 
 void DistanceService::note_wave(const core::SsspStats& stats) {
@@ -84,31 +140,100 @@ void DistanceService::note_wave(const core::SsspStats& stats) {
   metrics_.wave_pruned_apply += stats.pruned_apply;
 }
 
-RootCache::Slice DistanceService::resolve(graph::VertexId key,
-                                          bool* from_cache) {
-  if (auto slice = cache_.lookup(key)) {
-    *from_cache = true;
-    return slice;
+RootCache::Slice DistanceService::dispatch_wave(graph::VertexId key,
+                                                const core::SsspConfig& cfg,
+                                                bool cacheable,
+                                                double* settled_bound) {
+  *settled_bound = std::numeric_limits<double>::infinity();
+  FaultLedger* ledger = fault_ != nullptr ? fault_->ledger : nullptr;
+  if (ledger != nullptr && comm_.rank() == 0) {
+    // Rank-0 write between collectives: a crash inside the wave leaves
+    // this record intact for the driver's retry attribution.
+    ledger->wave_open = true;
+    ledger->wave_facility = key == facility_key();
+    ledger->wave_key = key;
   }
-  *from_cache = false;
   util::Timer timer;
   core::SsspResult result;
   core::SsspStats stats;
   if (key == facility_key()) {
-    result = core::delta_stepping_multi(comm_, g_, config_.facilities,
-                                        config_.sssp, &stats);
+    result = core::delta_stepping_multi(comm_, g_, config_.facilities, cfg,
+                                        &stats);
+  } else if (core::CheckpointState* ckpt = snapshot_for(key);
+             ckpt != nullptr && cfg.prune_lb == nullptr) {
+    // Pruned waves never checkpoint: a snapshot's digest pins only the
+    // root/delta/shape, so a resume could mix full-wave and pruned-wave
+    // state and break bit-identity.
+    core::SsspConfig ck = cfg;
+    ck.checkpoint_interval = config_.fault.checkpoint_interval;
+    result = core::delta_stepping_checkpointed(comm_, g_, key, ck, ckpt,
+                                               &stats);
   } else {
-    result = core::delta_stepping(comm_, g_, key, config_.sssp, &stats);
+    result = core::delta_stepping(comm_, g_, key, cfg, &stats);
   }
   metrics_.wave_seconds += timer.seconds();
   ++metrics_.waves;
   note_wave(stats);
+  if (stats.restores > 0) ++metrics_.wave_resumes;
+  if (ledger != nullptr && comm_.rank() == 0) ledger->wave_open = false;
   auto slice = std::make_shared<const std::vector<graph::Weight>>(
       std::move(result.dist));
+  if (stats.deadline_stops > 0) {
+    ++metrics_.deadline_truncated_waves;
+    *settled_bound = stats.settled_bound;
+    // Beyond the settled boundary the slice holds upper bounds only —
+    // never cache it.
+    return slice;
+  }
   // Shared ownership keeps the slice alive for this batch's extraction
   // even if a later insert evicts the entry again.
-  cache_.insert(key, slice);
+  if (cacheable) cache_.insert(key, slice);
   return slice;
+}
+
+void ServiceMetrics::merge(const ServiceMetrics& other) {
+  arrived += other.arrived;
+  admitted += other.admitted;
+  shed += other.shed;
+  answered += other.answered;
+  slo_violations += other.slo_violations;
+  batches += other.batches;
+  waves += other.waves;
+  pruned_waves += other.pruned_waves;
+  fetch_rounds += other.fetch_rounds;
+  ticks += other.ticks;
+  oracle_exact += other.oracle_exact;
+  oracle_unreachable += other.oracle_unreachable;
+  adaptive_adjustments += other.adaptive_adjustments;
+  deadline_exceeded += other.deadline_exceeded;
+  degraded += other.degraded;
+  failed_queries += other.failed_queries;
+  shed_log_overflow += other.shed_log_overflow;
+  deadline_truncated_waves += other.deadline_truncated_waves;
+  wave_resumes += other.wave_resumes;
+  breaker_half_opened += other.breaker_half_opened;
+  breaker_closed += other.breaker_closed;
+  latency_ticks.merge(other.latency_ticks);
+  batch_occupancy.merge(other.batch_occupancy);
+  queue_depth.merge(other.queue_depth);
+  wave_seconds += other.wave_seconds;
+  fetch_seconds += other.fetch_seconds;
+  oracle_seconds += other.oracle_seconds;
+  wave_relax_generated += other.wave_relax_generated;
+  wave_relax_sent += other.wave_relax_sent;
+  wave_pruned_expand += other.wave_pruned_expand;
+  wave_pruned_apply += other.wave_pruned_apply;
+  oracle_landmarks = other.oracle_landmarks;
+  oracle_precompute_waves += other.oracle_precompute_waves;
+  oracle_precompute_seconds += other.oracle_precompute_seconds;
+  cache.hits += other.cache.hits;
+  cache.misses += other.cache.misses;
+  cache.inserts += other.cache.inserts;
+  cache.evictions += other.cache.evictions;
+  cache.rejected += other.cache.rejected;
+  cache.resident_entries = other.cache.resident_entries;
+  cache.resident_bytes = other.cache.resident_bytes;
+  cache.capacity_entries = other.cache.capacity_entries;
 }
 
 std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
@@ -125,14 +250,59 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
     metrics_.adaptive_adjustments = controller_->adjustments();
   }
   arrived_since_tick_ = 0;
+
+  // Breaker timer: an open breaker half-opens once the cooldown expires,
+  // admitting exactly one probe wave this tick.  Deterministic across
+  // ranks (pure function of `now` and the carried-in state).
+  if (config_.fault.breaker_threshold > 0 &&
+      breaker_.state == BreakerState::kOpen &&
+      now >= breaker_.opened_tick + config_.fault.breaker_cooldown_ticks) {
+    breaker_.state = BreakerState::kHalfOpen;
+    ++metrics_.breaker_half_opened;
+  }
+
+  std::vector<Answer> answers;
+
+  // ---- deadline sweep: expired waiters complete NOW ------------------
+  // Local bookkeeping only (no collectives), so it stays deterministic
+  // across ranks and cheap on idle ticks.
+  bool any_expired = false;
+  for (const auto& q : queue_) {
+    if (q.deadline_tick != 0 && now >= q.deadline_tick) {
+      any_expired = true;
+      break;
+    }
+  }
+  if (any_expired) {
+    std::deque<Query> keep;
+    for (const auto& q : queue_) {
+      if (q.deadline_tick != 0 && now >= q.deadline_tick) {
+        Answer a;
+        a.id = q.id;
+        a.kind = q.kind;
+        a.root = q.root;
+        a.target = q.target;
+        a.distance = graph::kInfDistance;
+        a.outcome = Outcome::kDeadlineExceeded;
+        a.arrival_tick = q.arrival_tick;
+        a.completion_tick = now;
+        ++metrics_.deadline_exceeded;
+        answers.push_back(a);
+      } else {
+        keep.push_back(q);
+      }
+    }
+    queue_.swap(keep);
+  }
+
   const std::size_t batch_limit = current_batch_size();
   const std::uint64_t max_wait = current_max_wait_ticks();
   metrics_.queue_depth.add(queue_.size());
-  if (queue_.empty()) return {};
+  if (queue_.empty()) return answers;
 
   const bool deadline = now >= queue_.front().arrival_tick + max_wait;
   const bool full = queue_.size() >= batch_limit;
-  if (!flush && !deadline && !full) return {};
+  if (!flush && !deadline && !full) return answers;
 
   // ---- form the batch (FIFO prefix) ----------------------------------
   const std::size_t take = std::min(queue_.size(), batch_limit);
@@ -209,61 +379,104 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
     }
   }
 
+  // ---- batch deadline budget -----------------------------------------
+  // The tightest outstanding deadline in the batch caps every wave this
+  // tick: the engine stops cleanly after that many bucket epochs and
+  // reports the settled bound (sweep above guarantees deadline_tick > now
+  // for everything still queued, so `left` is always >= 1).
+  core::SsspConfig wave_cfg = config_.sssp;
+  if (config_.fault.deadline_buckets_per_tick != 0) {
+    std::uint64_t tightest = 0;
+    for (const auto& q : batch) {
+      if (q.deadline_tick != 0 &&
+          (tightest == 0 || q.deadline_tick < tightest)) {
+        tightest = q.deadline_tick;
+      }
+    }
+    if (tightest != 0) {
+      wave_cfg.deadline_buckets =
+          (tightest - now) * config_.fault.deadline_buckets_per_tick;
+    }
+  }
+
   // ---- resolve each group's distance slice ---------------------------
+  // Exactly ONE cache lookup per group (the hit/miss accounting must not
+  // depend on the oracle or fault machinery).  A group is REFUSED — no
+  // wave, empty slice — when its key's retry budget is exhausted or the
+  // circuit breaker withholds waves; a half-open breaker admits a single
+  // probe wave whose completion closes it.
   std::vector<RootCache::Slice> slices;
   std::vector<bool> cached;
   std::vector<bool> pruned;
+  std::vector<char> refused(keys.size(), 0);
+  std::vector<double> bound(keys.size(),
+                            std::numeric_limits<double>::infinity());
+  bool probe_used = false;
+  bool wave_dispatched = false;
   slices.reserve(keys.size());
   for (std::size_t gi = 0; gi < keys.size(); ++gi) {
     const graph::VertexId key = keys[gi];
     const bool p2p = key != facility_key();
     bool from_cache = false;
-    RootCache::Slice slice;
     bool group_pruned = false;
-    if (!oracle_ || !p2p) {
-      slice = resolve(key, &from_cache);
-    } else if (auto hit = cache_.lookup(key)) {
+    RootCache::Slice slice;
+    if (auto hit = cache_.lookup(key)) {
       from_cache = true;
       slice = hit;
+    } else if (is_abandoned(key) || breaker_.state == BreakerState::kOpen ||
+               (breaker_.state == BreakerState::kHalfOpen && probe_used)) {
+      refused[gi] = 1;
     } else {
-      // Goal-directed pruned wave: admissible toward every target of the
-      // group (elementwise-min lb), budgeted by the loosest upper bound.
-      util::Timer oracle_timer;
-      auto lb = oracle_->lb_slice(rows[target_row[members[gi][0]]]);
-      graph::Weight budget = oracle_->budget(verdict[members[gi][0]].ub);
-      for (std::size_t m = 1; m < members[gi].size(); ++m) {
-        const std::size_t qi = members[gi][m];
-        oracle_->min_into_lb_slice(lb, rows[target_row[qi]]);
-        budget = std::max(budget, oracle_->budget(verdict[qi].ub));
+      const bool probing = breaker_.state == BreakerState::kHalfOpen;
+      if (probing) probe_used = true;
+      if (oracle_ && p2p) {
+        // Goal-directed pruned wave: admissible toward every target of
+        // the group (elementwise-min lb), budgeted by the loosest upper
+        // bound.  A pruned slice is exact only at (and within budget of)
+        // its targets, so dispatch_wave never caches it.
+        util::Timer oracle_timer;
+        auto lb = oracle_->lb_slice(rows[target_row[members[gi][0]]]);
+        graph::Weight budget = oracle_->budget(verdict[members[gi][0]].ub);
+        for (std::size_t m = 1; m < members[gi].size(); ++m) {
+          const std::size_t qi = members[gi][m];
+          oracle_->min_into_lb_slice(lb, rows[target_row[qi]]);
+          budget = std::max(budget, oracle_->budget(verdict[qi].ub));
+        }
+        metrics_.oracle_seconds += oracle_timer.seconds();
+        core::SsspConfig cfg = wave_cfg;
+        cfg.prune_lb = &lb;
+        cfg.prune_budget = budget;
+        slice = dispatch_wave(key, cfg, /*cacheable=*/false, &bound[gi]);
+        ++metrics_.pruned_waves;
+        group_pruned = true;
+      } else {
+        slice = dispatch_wave(key, wave_cfg, /*cacheable=*/true, &bound[gi]);
       }
-      metrics_.oracle_seconds += oracle_timer.seconds();
-      core::SsspConfig cfg = config_.sssp;
-      cfg.prune_lb = &lb;
-      cfg.prune_budget = budget;
-      util::Timer wave_timer;
-      core::SsspStats stats;
-      auto result = core::delta_stepping(comm_, g_, key, cfg, &stats);
-      metrics_.wave_seconds += wave_timer.seconds();
-      ++metrics_.waves;
-      ++metrics_.pruned_waves;
-      note_wave(stats);
-      // A pruned slice is exact only at (and within budget of) its
-      // targets — never cache it.
-      slice = std::make_shared<const std::vector<graph::Weight>>(
-          std::move(result.dist));
-      group_pruned = true;
+      wave_dispatched = true;
+      if (probing) {
+        // The probe wave came back: close the breaker.
+        breaker_.state = BreakerState::kClosed;
+        breaker_.consecutive_failures = 0;
+        ++metrics_.breaker_closed;
+      }
     }
     slices.push_back(std::move(slice));
     cached.push_back(from_cache);
     pruned.push_back(group_pruned);
   }
+  // Any wave that came back alive ends the failure streak (the driver
+  // increments it on crashes; a completed tick's harvest carries this
+  // reset back to the ledger).
+  if (wave_dispatched) breaker_.consecutive_failures = 0;
 
   // ---- one batched exchange answers every remaining query ------------
+  // Refused groups hold null slices; their members skip the fetch (no
+  // query ever references those slots, identically on every rank).
   std::vector<core::SlotQuery> fetches;
   std::vector<std::size_t> fetch_idx(batch.size(), 0);
   fetches.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (direct[i]) continue;
+    if (direct[i] || refused[slot_of[i]]) continue;
     fetch_idx[i] = fetches.size();
     fetches.push_back(core::SlotQuery{slot_of[i], batch[i].target});
   }
@@ -277,27 +490,59 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   ++metrics_.fetch_rounds;
 
   // ---- complete ------------------------------------------------------
-  std::vector<Answer> answers;
-  answers.reserve(batch.size());
+  answers.reserve(answers.size() + batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Answer a;
     a.id = batch[i].id;
     a.kind = batch[i].kind;
     a.root = batch[i].root;
     a.target = batch[i].target;
+    a.arrival_tick = batch[i].arrival_tick;
+    a.completion_tick = now;
     if (direct[i]) {
       a.distance = verdict[i].ub;
       a.from_oracle = true;
+      a.lb = a.ub = a.distance;
+    } else if (refused[slot_of[i]]) {
+      if (config_.fault.degraded_answers && oracle_ &&
+          batch[i].kind == QueryKind::kPointToPoint &&
+          std::isfinite(verdict[i].ub)) {
+        // Graceful degradation: answer from the oracle's bracket with the
+        // witness-path upper bound as the estimate.  Opt-in only.
+        a.distance = verdict[i].ub;
+        a.lb = verdict[i].lb;
+        a.ub = verdict[i].ub;
+        a.outcome = Outcome::kDegraded;
+        a.from_oracle = true;
+        ++metrics_.degraded;
+      } else {
+        a.distance = graph::kInfDistance;
+        a.outcome = Outcome::kFailed;
+        ++metrics_.failed_queries;
+      }
     } else {
       a.distance = distances[fetch_idx[i]];
       a.from_cache = cached[slot_of[i]];
       a.pruned_wave = pruned[slot_of[i]];
+      const double b = bound[slot_of[i]];
+      if (static_cast<double>(a.distance) < b) {
+        // Complete wave, or a truncated one that still settled this
+        // target exactly (dist < settled bound).
+        a.lb = a.ub = a.distance;
+      } else {
+        // Truncated wave and the target sits past the settled boundary:
+        // the fetched value is only an upper bound.
+        a.outcome = Outcome::kDeadlineExceeded;
+        a.lb = static_cast<graph::Weight>(b);
+        a.ub = a.distance;
+        ++metrics_.deadline_exceeded;
+      }
     }
-    a.arrival_tick = batch[i].arrival_tick;
-    a.completion_tick = now;
-    ++metrics_.answered;
-    metrics_.latency_ticks.add(a.latency_ticks());
-    if (a.latency_ticks() > config_.slo_ticks) ++metrics_.slo_violations;
+    if (a.outcome == Outcome::kServed) {
+      ++metrics_.answered;
+      metrics_.latency_ticks.add(a.latency_ticks());
+      if (a.latency_ticks() > config_.slo_ticks) ++metrics_.slo_violations;
+    }
     answers.push_back(a);
   }
   return answers;

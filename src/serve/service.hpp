@@ -45,6 +45,7 @@
 #include "graph/builder.hpp"
 #include "serve/adaptive.hpp"
 #include "serve/cache.hpp"
+#include "serve/fault.hpp"
 #include "serve/oracle.hpp"
 #include "serve/workload.hpp"
 #include "simmpi/comm.hpp"
@@ -66,9 +67,23 @@ struct ServeConfig {
   std::size_t cache_budget_bytes = std::size_t{1} << 20;  ///< per rank
   std::vector<graph::VertexId> facilities;  ///< nearest-query source set
   core::SsspConfig sssp;           ///< engine knobs for dispatched waves
-                                   ///< (pruning fields are service-managed)
+                                   ///< (pruning/deadline/checkpoint fields
+                                   ///< are service-managed)
   OracleConfig oracle;             ///< num_landmarks > 0 enables the oracle
   AdaptiveConfig adaptive;         ///< enabled = true activates the controller
+  /// Bound on shed_log() entries; once full, further shed queries are
+  /// still counted and rejected but their records are dropped
+  /// (ServiceMetrics::shed_log_overflow counts the drops).  Must be >= 1.
+  std::size_t shed_log_cap = 4096;
+  FaultToleranceConfig fault;      ///< retry/degradation/breaker knobs
+};
+
+/// How a query's lifecycle ended.
+enum class Outcome : std::uint8_t {
+  kServed,            ///< exact answer (cache, oracle-exact or wave)
+  kDegraded,          ///< approximate answer from the oracle's lb/ub interval
+  kDeadlineExceeded,  ///< deadline expired in queue, or the wave was truncated
+  kFailed,            ///< no answer (retries/breaker exhausted, no fallback)
 };
 
 /// One completed query.
@@ -81,6 +96,14 @@ struct Answer {
   bool from_cache = false;
   bool from_oracle = false;  ///< settled by landmark bounds, no wave or fetch
   bool pruned_wave = false;  ///< answered by a goal-directed pruned wave
+  Outcome outcome = Outcome::kServed;
+  /// Certified interval around the true distance.  kServed: lb == ub ==
+  /// distance.  kDegraded: the oracle's triangle-inequality bracket
+  /// (distance == ub).  kDeadlineExceeded via wave truncation: lb is the
+  /// settled bound, ub the tentative value.  kFailed / queue-expired: the
+  /// vacuous [0, inf).
+  graph::Weight lb = 0.0f;
+  graph::Weight ub = graph::kInfDistance;
   std::uint64_t arrival_tick = 0;
   std::uint64_t completion_tick = 0;
   /// Saturating: a flush can complete a query on an earlier tick than its
@@ -114,6 +137,16 @@ struct ServiceMetrics {
   std::uint64_t oracle_unreachable = 0;  ///< subset proven unreachable
   std::uint64_t adaptive_adjustments = 0;  ///< controller knob changes
 
+  // Fault-tolerance outcomes and machinery (zero unless enabled).
+  std::uint64_t deadline_exceeded = 0;  ///< expired in queue or truncated wave
+  std::uint64_t degraded = 0;           ///< answered from oracle lb/ub
+  std::uint64_t failed_queries = 0;     ///< completed with no usable answer
+  std::uint64_t shed_log_overflow = 0;  ///< shed records dropped at the cap
+  std::uint64_t deadline_truncated_waves = 0;  ///< waves stopped at budget
+  std::uint64_t wave_resumes = 0;       ///< waves resumed from a checkpoint
+  std::uint64_t breaker_half_opened = 0;  ///< open -> half-open transitions
+  std::uint64_t breaker_closed = 0;       ///< half-open -> closed transitions
+
   util::Log2Histogram latency_ticks;     ///< per answered query
   util::Log2Histogram batch_occupancy;   ///< queries per dispatched batch
   util::Log2Histogram queue_depth;       ///< sampled at every tick()
@@ -136,6 +169,12 @@ struct ServiceMetrics {
   double oracle_precompute_seconds = 0.0;
 
   CacheStats cache;  ///< copied from the root cache on read
+
+  /// Accumulate another window's counters (the resilient driver merges
+  /// per-attempt harvests across World restarts).  Counters sum,
+  /// histograms merge; residency/capacity and the oracle precompute
+  /// block take `other`'s (latest) values.
+  void merge(const ServiceMetrics& other);
 };
 
 class DistanceService {
@@ -143,9 +182,13 @@ class DistanceService {
   /// `g` is this rank's graph piece; facilities (if any) are validated
   /// against the vertex range here.  When config.oracle.num_landmarks > 0
   /// the constructor is collective: it runs the landmark selection and
-  /// precompute waves on every rank.
+  /// precompute waves on every rank (or adopts persisted slices from
+  /// fault->oracle_store and runs none).  `fault` is the resilient
+  /// driver's per-attempt context (see fault.hpp); it must outlive the
+  /// service.  nullptr = no fault machinery beyond config.fault's
+  /// deadline handling.
   DistanceService(simmpi::Comm& comm, const graph::DistGraph& g,
-                  ServeConfig config);
+                  ServeConfig config, FaultContext* fault = nullptr);
 
   /// Offer `q` to the admission queue (local bookkeeping, no collectives
   /// — but every rank must observe the same submission sequence).
@@ -153,6 +196,12 @@ class DistanceService {
   /// displaced victim lands in shed_log() instead and this returns true.
   /// An invalid query throws without touching any counter.
   bool submit(const Query& q);
+
+  /// Re-admit queries that were already counted as arrived/admitted by a
+  /// previous attempt of a resilient run: they enter the queue in order
+  /// without touching the arrival counters.  Queue-depth bounds do not
+  /// apply (they were already enforced at original admission).
+  void restore_backlog(const std::vector<Query>& backlog);
 
   /// Advance the simulated clock to `now`: samples the queue depth and
   /// dispatches at most one micro-batch if the batch-size or deadline
@@ -204,6 +253,12 @@ class DistanceService {
                        : config_.max_wait_ticks;
   }
 
+  /// Circuit-breaker state (deterministic across ranks; rank 0 harvests
+  /// it into the driver's ledger every tick).
+  [[nodiscard]] const BreakerStatus& breaker() const noexcept {
+    return breaker_;
+  }
+
  private:
   /// Reserved cache key for the facility wave (delta_stepping_multi over
   /// config_.facilities).  No real root can collide: vertex ids are
@@ -212,13 +267,31 @@ class DistanceService {
     return graph::kNoVertex;
   }
 
-  /// Slice for `key`, from cache or a fresh full wave (collective on
-  /// miss; the result is cached).
-  [[nodiscard]] RootCache::Slice resolve(graph::VertexId key,
-                                         bool* from_cache);
+  /// Run one wave for `key` under `cfg` (collective): the facility
+  /// multi-source wave for the reserved key, otherwise a (possibly
+  /// checkpointed, possibly resumed) single-source wave.  Handles ledger
+  /// bookkeeping and wave metrics.  The complete slice is cached when
+  /// `cacheable`; a deadline-truncated one never is, and
+  /// `*settled_bound` reports the exactness boundary (infinity when the
+  /// wave ran to completion).
+  [[nodiscard]] RootCache::Slice dispatch_wave(graph::VertexId key,
+                                               const core::SsspConfig& cfg,
+                                               bool cacheable,
+                                               double* settled_bound);
 
   /// Accumulate one wave's engine counters into the metrics.
   void note_wave(const core::SsspStats& stats);
+
+  /// True when `key`'s retry budget is exhausted for this attempt.
+  [[nodiscard]] bool is_abandoned(graph::VertexId key) const noexcept;
+
+  /// Record a shed query, honouring the shed-log cap.
+  void log_shed(const Query& q);
+
+  /// The snapshot slot to pass to a wave on `key`, honouring the
+  /// resume-key protection rule (see FaultContext::snapshot).
+  [[nodiscard]] core::CheckpointState* snapshot_for(graph::VertexId key)
+      const noexcept;
 
   simmpi::Comm& comm_;
   const graph::DistGraph& g_;
@@ -231,6 +304,8 @@ class DistanceService {
   ServiceMetrics metrics_;
   std::uint64_t arrived_since_tick_ = 0;  ///< controller observation window
   std::optional<std::uint64_t> last_now_;  ///< monotonic-clock watermark
+  FaultContext* fault_ = nullptr;          ///< driver-owned; may be nullptr
+  BreakerStatus breaker_;  ///< per-rank copy; transitions are deterministic
 };
 
 }  // namespace g500::serve

@@ -89,6 +89,9 @@ std::vector<Query> Workload::arrivals(std::uint64_t tick) const {
     Query q;
     q.id = id;
     q.arrival_tick = tick;
+    if (config_.deadline_ticks != 0) {
+      q.deadline_tick = tick + config_.deadline_ticks;
+    }
     q.kind = rng.next_double() < config_.nearest_fraction
                  ? QueryKind::kNearestFacility
                  : QueryKind::kPointToPoint;

@@ -32,6 +32,10 @@ struct Query {
   QueryKind kind = QueryKind::kPointToPoint;
   graph::VertexId root = 0;    ///< source vertex (ignored for kNearestFacility)
   graph::VertexId target = 0;  ///< vertex whose distance is requested
+  /// Absolute tick by which the caller needs the answer (0 = no deadline).
+  /// A query still queued at this tick completes with
+  /// Outcome::kDeadlineExceeded instead of aging silently.
+  std::uint64_t deadline_tick = 0;
 };
 
 struct WorkloadConfig {
@@ -40,6 +44,9 @@ struct WorkloadConfig {
   double arrivals_per_tick = 4.0;   ///< Poisson lambda per tick
   double zipf_s = 1.1;              ///< popularity exponent (0 = uniform)
   double nearest_fraction = 0.0;    ///< share of kNearestFacility queries
+  /// Per-query deadline budget: every generated query gets
+  /// deadline_tick = arrival_tick + deadline_ticks (0 = no deadlines).
+  std::uint64_t deadline_ticks = 0;
 
   /// Popularity-ranked root universe (index 0 = most popular).  Must be
   /// non-empty unless nearest_fraction == 1.

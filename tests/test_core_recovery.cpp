@@ -338,6 +338,91 @@ TEST(ResilientRunner, CleanWorldMatchesStandardProtocol) {
   }
 }
 
+// Bit rot in "stable storage" must surface as CheckpointError at restore
+// time — resuming silently from damaged distances would poison the sweep.
+TEST(Checkpoint, RestoreThrowsOnSnapshotBitRot) {
+  const auto params = small_graph();
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::CheckpointState ckpt;
+    auto truncated = long_sweep_config(1);
+    truncated.max_buckets = 2;
+    EXPECT_THROW((void)core::delta_stepping_checkpointed(
+                     comm, g, kConnectedRoot, truncated, &ckpt),
+                 std::runtime_error);
+    ASSERT_TRUE(ckpt.valid);
+    ASSERT_FALSE(ckpt.dist.empty());
+    ckpt.dist[0] = -7.5f;  // rot one value; the checksum no longer matches
+    EXPECT_THROW((void)core::delta_stepping_checkpointed(
+                     comm, g, kConnectedRoot, long_sweep_config(1), &ckpt),
+                 core::CheckpointError);
+  });
+}
+
+// A snapshot from the very first bucket epoch is already resumable; the
+// recovered sweep must still be bit-identical to an undisturbed one.
+TEST(Checkpoint, ResumeFromFirstEpochSnapshotIsBitIdentical) {
+  const auto params = small_graph();
+  const auto config = long_sweep_config(1);
+  const auto reference = clean_distances(params, kConnectedRoot, 2, config);
+  ASSERT_FALSE(reference.empty());
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::CheckpointState ckpt;
+    auto first = config;
+    first.max_buckets = 1;  // die right after the first epoch's snapshot
+    EXPECT_THROW((void)core::delta_stepping_checkpointed(
+                     comm, g, kConnectedRoot, first, &ckpt),
+                 std::runtime_error);
+    ASSERT_TRUE(ckpt.valid);
+    EXPECT_EQ(ckpt.buckets_done, 1u);
+
+    core::SsspStats stats;
+    const auto result = core::delta_stepping_checkpointed(
+        comm, g, kConnectedRoot, config, &ckpt, &stats);
+    EXPECT_GE(stats.restores, 1u);
+    const auto whole = core::gather_result(comm, g, result);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(whole.dist, reference);
+    }
+  });
+}
+
+// Injected stalls during the recovery attempt charge virtual delay but
+// must not perturb the restored sweep.
+TEST(Checkpoint, RestoreUnderInjectedStallIsBitIdentical) {
+  const auto params = small_graph();
+  const auto config = long_sweep_config(2);
+  const auto reference = clean_distances(params, kConnectedRoot, 2, config);
+  ASSERT_FALSE(reference.empty());
+  simmpi::World world(2);
+  world.set_fault_plan(simmpi::FaultPlan{}
+                           .stall(1, 60, 2.0)
+                           .stall(1, 200, 2.0)
+                           .stall(0, 400, 2.0));
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::CheckpointState ckpt;
+    auto truncated = config;
+    truncated.max_buckets = 4;
+    EXPECT_THROW((void)core::delta_stepping_checkpointed(
+                     comm, g, kConnectedRoot, truncated, &ckpt),
+                 std::runtime_error);
+    ASSERT_TRUE(ckpt.valid);
+    core::SsspStats stats;
+    const auto result = core::delta_stepping_checkpointed(
+        comm, g, kConnectedRoot, config, &ckpt, &stats);
+    EXPECT_GE(stats.restores, 1u);
+    const auto whole = core::gather_result(comm, g, result);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(whole.dist, reference);
+    }
+  });
+  EXPECT_GT(world.aggregate_stats().stall_seconds, 0.0);
+}
+
 TEST(ResilientRunner, RejectsNonDeltaSteppingAlgorithms) {
   simmpi::World world(2);
   core::RunnerOptions options;

@@ -285,6 +285,79 @@ TEST(ServeOracle, AdaptiveServiceAnswersEverythingConsistently) {
   }
 }
 
+/// Persisted slices round-trip: a second oracle over the same graph and
+/// config adopts the stored blob with ZERO precompute waves and serves
+/// bit-identical landmark rows.
+TEST(ServeOracle, SliceStoreRoundTripSkipsPrecompute) {
+  const auto list = graph::random_graph(96, 400, 27);
+  const int ranks = 2;
+  std::vector<serve::OracleSliceStore> stores(ranks);
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    OracleConfig oc;
+    oc.num_landmarks = 3;
+    auto& store = stores[static_cast<std::size_t>(comm.rank())];
+
+    LandmarkOracle fresh(comm, g, oc, {}, &store);
+    EXPECT_FALSE(fresh.restored_from_store());
+    EXPECT_GT(fresh.precompute_waves(), 0u);
+    ASSERT_TRUE(store.valid());
+
+    LandmarkOracle adopted(comm, g, oc, {}, &store);
+    EXPECT_TRUE(adopted.restored_from_store());
+    EXPECT_EQ(adopted.precompute_waves(), 0u);
+    EXPECT_EQ(adopted.landmarks(), fresh.landmarks());
+
+    std::vector<graph::VertexId> verts;
+    for (graph::VertexId v = 0; v < g.num_vertices; v += 7) {
+      verts.push_back(v);
+    }
+    const auto want = fresh.landmark_distances(verts);
+    const auto got = adopted.landmark_distances(verts);
+    EXPECT_EQ(got, want);  // bit-identical rows, not just equivalent
+  });
+}
+
+/// The adopt gate is all-or-nothing across ranks: one rank's rotten blob
+/// forces EVERY rank to recompute (no rank may adopt while another
+/// recomputes — the waves are collective), and the recompute overwrites
+/// the store so the next restart adopts again.
+TEST(ServeOracle, SliceStoreDigestMismatchForcesGlobalRecompute) {
+  const auto list = graph::random_graph(80, 320, 41);
+  const int ranks = 2;
+  std::vector<serve::OracleSliceStore> stores(ranks);
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    OracleConfig oc;
+    oc.num_landmarks = 2;
+    auto& store = stores[static_cast<std::size_t>(comm.rank())];
+    LandmarkOracle fresh(comm, g, oc, {}, &store);
+    ASSERT_TRUE(store.valid());
+
+    // Bit rot in rank 0's slot only.
+    if (comm.rank() == 0) store.blob[store.blob.size() / 2] ^= 0x40;
+    LandmarkOracle recomputed(comm, g, oc, {}, &store);
+    EXPECT_FALSE(recomputed.restored_from_store());
+    EXPECT_GT(recomputed.precompute_waves(), 0u);
+    EXPECT_EQ(recomputed.landmarks(), fresh.landmarks());
+
+    // The recompute healed the store: the next restart adopts.
+    ASSERT_TRUE(store.valid());
+    LandmarkOracle healed(comm, g, oc, {}, &store);
+    EXPECT_TRUE(healed.restored_from_store());
+
+    // A different landmark request must not adopt slices computed for
+    // another config.
+    OracleConfig other;
+    other.num_landmarks = 4;
+    LandmarkOracle reconfigured(comm, g, other, {}, &store);
+    EXPECT_FALSE(reconfigured.restored_from_store());
+    EXPECT_GT(reconfigured.precompute_waves(), 0u);
+  });
+}
+
 /// The oracle constructor rejects nonsense configurations.
 TEST(ServeOracle, ValidatesConfig) {
   const auto list = graph::path_graph(8, 2);

@@ -4,6 +4,7 @@
 // configured policy, and the counters must agree across ranks.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
@@ -230,6 +231,117 @@ TEST(ServeService, DropOldestShedsLongestWaiter) {
   });
 }
 
+// A query still queued at its deadline tick completes immediately with
+// Outcome::kDeadlineExceeded and the vacuous [0, inf) interval — it must
+// not age silently or count as answered.
+TEST(ServeService, QueueExpiredDeadlineCompletesUnanswered) {
+  const auto list = graph::path_graph(16, 6);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.batch_size = 8;        // size trigger never fires
+    config.max_wait_ticks = 100;  // age trigger never fires
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.id = 9;
+    q.root = 0;
+    q.target = 12;
+    q.arrival_tick = 0;
+    q.deadline_tick = 3;
+    ASSERT_TRUE(service.submit(q));
+    EXPECT_TRUE(service.tick(0).empty());
+    EXPECT_TRUE(service.tick(2).empty());
+    const auto answers = service.tick(3);
+    ASSERT_EQ(answers.size(), 1u);
+    EXPECT_EQ(answers[0].id, 9u);
+    EXPECT_EQ(answers[0].outcome, serve::Outcome::kDeadlineExceeded);
+    EXPECT_TRUE(std::isinf(answers[0].distance));
+    EXPECT_EQ(answers[0].lb, 0.0f);
+    EXPECT_EQ(service.pending(), 0u);
+    EXPECT_EQ(service.metrics().deadline_exceeded, 1u);
+    EXPECT_EQ(service.metrics().answered, 0u);
+    EXPECT_EQ(service.metrics().waves, 0u);
+  });
+}
+
+// A batch deadline budget truncates the wave at the engine level: targets
+// beyond the settled bound come back kDeadlineExceeded with a certified
+// [settled_bound, ub) interval, while targets inside it stay exact — and
+// the truncated slice must never enter the cache.
+TEST(ServeService, DeadlineBudgetTruncatesWaveKeepsSettledPrefixExact) {
+  const auto list = graph::path_graph(32, 5);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.batch_size = 2;
+    config.sssp.delta = 0.05;  // narrow buckets: the sweep spans many epochs
+    config.fault.deadline_buckets_per_tick = 1;
+    DistanceService service(comm, g, config);
+
+    Query far;
+    far.id = 0;
+    far.root = 0;
+    far.target = 31;  // the other end of the path: way past two epochs
+    far.arrival_tick = 0;
+    far.deadline_tick = 2;
+    Query near = far;
+    near.id = 1;
+    near.target = 0;  // distance 0 settles inside any budget
+    ASSERT_TRUE(service.submit(far));
+    ASSERT_TRUE(service.submit(near));
+
+    const auto answers = service.tick(0);  // size trigger; budget = 2 epochs
+    ASSERT_EQ(answers.size(), 2u);
+    const auto& a_far = answers[0].id == 0 ? answers[0] : answers[1];
+    const auto& a_near = answers[0].id == 1 ? answers[0] : answers[1];
+    EXPECT_EQ(a_far.outcome, serve::Outcome::kDeadlineExceeded);
+    EXPECT_TRUE(std::isinf(a_far.distance));
+    EXPECT_GT(a_far.lb, 0.0f);  // the settled bound certifies the prefix
+    EXPECT_EQ(a_near.outcome, serve::Outcome::kServed);
+    EXPECT_EQ(a_near.distance, 0.0f);
+    EXPECT_EQ(service.metrics().deadline_truncated_waves, 1u);
+    EXPECT_EQ(service.metrics().deadline_exceeded, 1u);
+    EXPECT_EQ(service.metrics().answered, 1u);
+    // Truncated slices are upper bounds beyond the settled boundary and
+    // must never be cached.
+    EXPECT_EQ(service.metrics().cache.inserts, 0u);
+  });
+}
+
+// Regression: the shed log is bounded by shed_log_cap — overflowing shed
+// queries are still counted and rejected, but their records are dropped
+// (an adversarial burst must not grow memory without bound).
+TEST(ServeService, ShedLogHonorsItsCap) {
+  const auto list = graph::path_graph(16, 6);
+  simmpi::World world(1);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.queue_depth = 1;
+    config.batch_size = 8;
+    config.shed_policy = ShedPolicy::kRejectNew;
+    config.shed_log_cap = 2;
+    DistanceService service(comm, g, config);
+
+    Query q;
+    q.root = 0;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      q.id = i;
+      q.target = i;
+      const bool admitted = service.submit(q);
+      EXPECT_EQ(admitted, i == 0) << "query " << i;
+    }
+    ASSERT_EQ(service.shed_log().size(), 2u);
+    EXPECT_EQ(service.shed_log()[0].id, 1u);
+    EXPECT_EQ(service.shed_log()[1].id, 2u);
+    EXPECT_EQ(service.metrics().shed, 4u);
+    EXPECT_EQ(service.metrics().shed_log_overflow, 2u);
+  });
+}
+
 TEST(ServeService, WarmCacheSkipsWaves) {
   const auto list = graph::random_graph(64, 256, 12);
   simmpi::World world(2);
@@ -305,6 +417,12 @@ TEST(ServeService, ValidatesQueriesAndConfig) {
     bad = {};
     bad.facilities = {g.num_vertices};
     EXPECT_THROW(DistanceService(comm, g, bad), std::out_of_range);
+    bad = {};
+    bad.shed_log_cap = 0;
+    EXPECT_THROW(DistanceService(comm, g, bad), std::invalid_argument);
+    bad = {};
+    bad.fault.max_wave_attempts = 0;
+    EXPECT_THROW(DistanceService(comm, g, bad), std::invalid_argument);
 
     DistanceService service(comm, g, ServeConfig{});
     Query q;
