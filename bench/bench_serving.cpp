@@ -28,13 +28,24 @@
 //       bit-identical to the reference, every degraded answer bracketed
 //       by its oracle lb/ub, and a restarted service adopting the
 //       persisted oracle slices with ZERO precompute waves.
+//   (g) Does the multi-kernel mixed workload hold up?  A YCSB-style mix
+//       (--analytics-fraction of arrivals are PageRank / k-core /
+//       components / reachability jobs) through the same service:
+//       per-class latency percentiles and shed/degraded counts land in
+//       the report, and every kernel's validation digest must match a
+//       sequential reference bit for bit (kernels_validated gate).
 //
 // Everything lands in BENCH_serving.json (schema: docs/serving.md), gated
 // in CI by scripts/check_report_schema.py.
 #include <algorithm>
+#include <array>
+#include <functional>
 #include <iostream>
+#include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "serve/kernels.hpp"
 
 #include "bench_util.hpp"
 #include "serve/driver.hpp"
@@ -114,6 +125,8 @@ int main(int argc, char** argv) {
   const int chaos_stalls = static_cast<int>(options.get_int("chaos-stalls", 2));
   const std::uint64_t chaos_horizon =
       static_cast<std::uint64_t>(options.get_int("chaos-horizon", 800));
+  const double analytics_fraction =
+      options.get_double("analytics-fraction", 0.25);
 
   graph::KroneckerParams params;
   params.scale = scale;
@@ -145,6 +158,17 @@ int main(int argc, char** argv) {
   std::vector<graph::VertexId> chaos_roots;
   graph::VertexId chaos_num_vertices = 0;
   std::size_t chaos_slice_entries = 0;
+
+  // Exports for the mixed-workload phase: kernel digests observed by the
+  // service, compared after the run against host-side sequential
+  // references over the identical edge list.
+  std::array<std::uint64_t, serve::kNumAnalyticsKernels> mixed_digest{};
+  std::array<bool, serve::kNumAnalyticsKernels> mixed_seen{};
+  std::array<std::uint64_t, serve::kNumAnalyticsKernels> mixed_kernel_jobs{};
+  // Each reachability pair: {root, target, value, digest}.
+  std::vector<std::array<std::uint64_t, 4>> mixed_reach;
+  std::array<double, 3> mixed_dist_p{};
+  std::array<double, 3> mixed_ana_p{};
 
   simmpi::World world(ranks);
   world.run([&](simmpi::Comm& comm) {
@@ -420,6 +444,51 @@ int main(int argc, char** argv) {
       aj["run"] = serve::to_json(auto_run);
       report.doc()["serving"]["adaptive"] = std::move(aj);
     }
+
+    // ---- (g) mixed analytics workload -------------------------------
+    // Same open-loop service with the oracle on; a quarter of arrivals
+    // are analytics jobs drawn uniformly over the four kernels.  The
+    // PageRank knobs stay at their defaults (tolerance 0 = fixed
+    // iteration count) so the host-side sequential reference reproduces
+    // every digest bit for bit.
+    serve::ServeConfig mixed_cfg = live;
+    mixed_cfg.oracle.num_landmarks = static_cast<std::size_t>(landmarks);
+    serve::WorkloadConfig mixed_wl = wl;
+    mixed_wl.nearest_fraction = 0.125;
+    mixed_wl.analytics_fraction = analytics_fraction;
+    const serve::Workload mixed_load(mixed_wl);
+    const auto mixed_run = serve::run_workload(comm, g, mixed_cfg, mixed_load,
+                                               /*keep_answers=*/true);
+    if (comm.rank() == 0) {
+      for (const auto& a : mixed_run.answers) {
+        if (a.kind != serve::QueryKind::kAnalytics) continue;
+        if (a.outcome != serve::Outcome::kServed) continue;
+        const auto slot = static_cast<std::size_t>(a.kernel);
+        if (a.kernel == serve::AnalyticsKernel::kReachability) {
+          mixed_reach.push_back({a.root, a.target,
+                                 static_cast<std::uint64_t>(a.value),
+                                 a.digest});
+        } else {
+          mixed_digest[slot] = a.digest;
+          mixed_seen[slot] = true;
+        }
+      }
+      mixed_seen[static_cast<std::size_t>(
+          serve::AnalyticsKernel::kReachability)] = !mixed_reach.empty();
+      mixed_kernel_jobs = mixed_run.metrics.kernel_jobs;
+      const auto dp = mixed_run.metrics.latency_ticks.slo_percentiles();
+      const auto ap =
+          mixed_run.metrics.analytics_latency_ticks.slo_percentiles();
+      mixed_dist_p = {dp[0], dp[1], dp[2]};
+      mixed_ana_p = {ap[0], ap[1], ap[2]};
+
+      util::Json mj = util::Json::object();
+      mj["analytics_fraction"] = analytics_fraction;
+      mj["config"] = serve::to_json(mixed_cfg);
+      mj["workload"] = serve::to_json(mixed_wl);
+      mj["run"] = serve::to_json(mixed_run);
+      report.doc()["serving"]["mixed"] = std::move(mj);
+    }
   });
 
   // ---- (f) chaos sweep: availability under injected faults ------------
@@ -578,6 +647,185 @@ int main(int argc, char** argv) {
   cj["restart"] = serve::to_json(restart_run);
   report.doc()["serving"]["chaos"] = std::move(cj);
 
+  // ---- (g) sequential kernel references -------------------------------
+  // The exact edge list the distributed build consumed (the generator is
+  // counter-based), canonicalized the same way build_distributed does:
+  // self-loops dropped, parallel edges deduplicated — so the per-vertex
+  // neighbour sets match the distributed CSR and the digests must too.
+  const graph::EdgeList whole = graph::kronecker_graph(params);
+  const std::size_t ref_n = whole.num_vertices;
+  std::vector<std::vector<graph::VertexId>> adj(ref_n);
+  for (const auto& e : whole.edges) {
+    if (e.src == e.dst) continue;
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+
+  // PageRank: same contribution/summation order as core::pagerank
+  // (ascending neighbour id, dangling mass leaks), same default knobs.
+  std::uint64_t ref_pr_digest = 0;
+  {
+    const core::PageRankConfig cfg;
+    const double teleport =
+        (1.0 - cfg.damping) / static_cast<double>(ref_n);
+    std::vector<double> pr(ref_n, 1.0 / static_cast<double>(ref_n));
+    std::vector<double> contrib(ref_n, 0.0);
+    std::vector<double> next(ref_n, 0.0);
+    for (std::uint64_t iter = 0; iter < cfg.max_iters; ++iter) {
+      for (std::size_t v = 0; v < ref_n; ++v) {
+        contrib[v] = adj[v].empty()
+                         ? 0.0
+                         : pr[v] / static_cast<double>(adj[v].size());
+      }
+      for (std::size_t v = 0; v < ref_n; ++v) {
+        double sum = 0.0;
+        for (const auto u : adj[v]) sum += contrib[u];
+        next[v] = teleport + cfg.damping * sum;
+      }
+      pr.swap(next);
+    }
+    ref_pr_digest = serve::fnv1a(pr.data(), pr.size() * sizeof(double));
+  }
+
+  // k-core: sequential cascading peel (coreness is order-independent).
+  std::uint64_t ref_kcore_digest = 0;
+  {
+    std::vector<std::int64_t> deg(ref_n);
+    for (std::size_t v = 0; v < ref_n; ++v) {
+      deg[v] = static_cast<std::int64_t>(adj[v].size());
+    }
+    std::vector<std::uint32_t> core_of(ref_n, 0);
+    std::vector<char> alive(ref_n, 1);
+    std::size_t remaining = ref_n;
+    while (remaining > 0) {
+      std::int64_t k = std::numeric_limits<std::int64_t>::max();
+      for (std::size_t v = 0; v < ref_n; ++v) {
+        if (alive[v]) k = std::min(k, deg[v]);
+      }
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (std::size_t v = 0; v < ref_n; ++v) {
+          if (!alive[v] || deg[v] > k) continue;
+          alive[v] = 0;
+          core_of[v] = static_cast<std::uint32_t>(k);
+          --remaining;
+          progress = true;
+          for (const auto u : adj[v]) {
+            if (alive[u]) --deg[u];
+          }
+        }
+      }
+    }
+    ref_kcore_digest =
+        serve::fnv1a(core_of.data(), core_of.size() * sizeof(std::uint32_t));
+  }
+
+  // Components via union-find; labels are the component's minimum vertex
+  // id, matching the min-label propagation fixpoint.
+  std::vector<graph::VertexId> parent(ref_n);
+  for (std::size_t v = 0; v < ref_n; ++v) parent[v] = v;
+  const std::function<graph::VertexId(graph::VertexId)> find =
+      [&](graph::VertexId v) {
+        while (parent[v] != v) {
+          parent[v] = parent[parent[v]];
+          v = parent[v];
+        }
+        return v;
+      };
+  for (std::size_t v = 0; v < ref_n; ++v) {
+    for (const auto u : adj[v]) {
+      const auto rv = find(v);
+      const auto ru = find(u);
+      if (rv != ru) parent[std::max(rv, ru)] = std::min(rv, ru);
+    }
+  }
+  std::uint64_t ref_comp_digest = 0;
+  {
+    std::vector<graph::VertexId> label(ref_n);
+    // Ascending scan: the first vertex to reach a set root is the
+    // component minimum, and unions above keep the smaller root.
+    for (std::size_t v = 0; v < ref_n; ++v) label[v] = find(v);
+    ref_comp_digest =
+        serve::fnv1a(label.data(), label.size() * sizeof(graph::VertexId));
+  }
+
+  // Reachability: every pair the service answered, against union-find,
+  // value AND digest (the digest canon is {root, target, reachable}).
+  bool reach_ok = true;
+  for (const auto& pair : mixed_reach) {
+    const bool want = find(pair[0]) == find(pair[1]);
+    const std::uint64_t canon[3] = {pair[0], pair[1],
+                                    want ? std::uint64_t{1} : 0};
+    reach_ok = reach_ok && pair[2] == (want ? 1u : 0u) &&
+               pair[3] == serve::fnv1a(canon, sizeof(canon));
+  }
+
+  const auto slot_of = [](serve::AnalyticsKernel k) {
+    return static_cast<std::size_t>(k);
+  };
+  const bool pr_ok =
+      mixed_seen[slot_of(serve::AnalyticsKernel::kPageRank)] &&
+      mixed_digest[slot_of(serve::AnalyticsKernel::kPageRank)] ==
+          ref_pr_digest;
+  const bool kcore_ok =
+      mixed_seen[slot_of(serve::AnalyticsKernel::kKCore)] &&
+      mixed_digest[slot_of(serve::AnalyticsKernel::kKCore)] ==
+          ref_kcore_digest;
+  const bool comp_ok =
+      mixed_seen[slot_of(serve::AnalyticsKernel::kComponents)] &&
+      mixed_digest[slot_of(serve::AnalyticsKernel::kComponents)] ==
+          ref_comp_digest;
+  const bool kernels_validated =
+      pr_ok && kcore_ok && comp_ok &&
+      mixed_seen[slot_of(serve::AnalyticsKernel::kReachability)] && reach_ok;
+
+  util::Table mixed_table({"kernel", "jobs", "digest", "reference", "match"});
+  const auto mixed_row = [&](serve::AnalyticsKernel k, std::uint64_t ref,
+                             bool match) {
+    const auto slot = slot_of(k);
+    mixed_table.row()
+        .add(std::string(serve::kernel_name(k)))
+        .add(mixed_kernel_jobs[slot])
+        .add(mixed_seen[slot] ? mixed_digest[slot] : 0)
+        .add(ref)
+        .add(match ? "yes" : "NO");
+  };
+  mixed_row(serve::AnalyticsKernel::kPageRank, ref_pr_digest, pr_ok);
+  mixed_row(serve::AnalyticsKernel::kKCore, ref_kcore_digest, kcore_ok);
+  mixed_row(serve::AnalyticsKernel::kComponents, ref_comp_digest, comp_ok);
+  mixed_table.row()
+      .add("reachability")
+      .add(mixed_kernel_jobs[slot_of(serve::AnalyticsKernel::kReachability)])
+      .add(static_cast<std::uint64_t>(mixed_reach.size()))
+      .add("per-pair")
+      .add(reach_ok && !mixed_reach.empty() ? "yes" : "NO");
+
+  util::Json kernels = util::Json::object();
+  const auto kernel_case = [&](serve::AnalyticsKernel k, std::uint64_t ref,
+                               bool match) {
+    util::Json kj = util::Json::object();
+    const auto slot = slot_of(k);
+    kj["jobs"] = mixed_kernel_jobs[slot];
+    kj["digest"] = mixed_seen[slot] ? mixed_digest[slot] : 0;
+    kj["reference_digest"] = ref;
+    kj["match"] = match;
+    kernels[std::string(serve::kernel_name(k))] = std::move(kj);
+  };
+  kernel_case(serve::AnalyticsKernel::kPageRank, ref_pr_digest, pr_ok);
+  kernel_case(serve::AnalyticsKernel::kKCore, ref_kcore_digest, kcore_ok);
+  kernel_case(serve::AnalyticsKernel::kComponents, ref_comp_digest, comp_ok);
+  util::Json rj = util::Json::object();
+  rj["pairs"] = static_cast<std::uint64_t>(mixed_reach.size());
+  rj["match"] = reach_ok && !mixed_reach.empty();
+  kernels["reachability"] = std::move(rj);
+  report.doc()["serving"]["mixed"]["kernels"] = std::move(kernels);
+  report.doc()["serving"]["mixed"]["kernels_validated"] = kernels_validated;
+
   warm_table.print(std::cout, "S1a: warm-cache drain throughput vs batch size"
                               ", scale " + std::to_string(scale) + ", " +
                               std::to_string(ranks) + " ranks");
@@ -604,6 +852,15 @@ int main(int argc, char** argv) {
                "floor, every exact\nanswer matches the reference bit for bit, "
                "and the restart adopts the persisted\noracle slices with zero "
                "precompute waves.\n\n";
+  mixed_table.print(std::cout,
+                    "S1g: mixed analytics workload — kernel digests vs "
+                    "sequential references");
+  std::cout << "\nExpected shape: every kernel matches its sequential "
+               "reference bit for bit\nwhile distance batches keep flowing "
+               "(distance p50/p90/p99 " << mixed_dist_p[0] << "/"
+            << mixed_dist_p[1] << "/" << mixed_dist_p[2]
+            << " ticks,\nanalytics " << mixed_ana_p[0] << "/"
+            << mixed_ana_p[1] << "/" << mixed_ana_p[2] << " ticks).\n\n";
 
   const double speedup = qps_b1 > 0.0 ? qps_b8 / qps_b1 : 0.0;
   std::cout << "batch-8 vs batch-1 warm throughput: " << speedup
@@ -626,10 +883,17 @@ int main(int argc, char** argv) {
             << degraded_checked << " checked), restart precompute waves "
             << restart_run.metrics.oracle_precompute_waves << " -> "
             << (chaos_ok ? "ok" : "NOT ok") << "\n";
+  std::cout << "mixed-workload kernels "
+            << (kernels_validated ? "validated" : "NOT validated")
+            << " (pagerank " << (pr_ok ? "ok" : "NO") << ", kcore "
+            << (kcore_ok ? "ok" : "NO") << ", components "
+            << (comp_ok ? "ok" : "NO") << ", reachability "
+            << (reach_ok && !mixed_reach.empty() ? "ok" : "NO") << ", "
+            << mixed_reach.size() << " pairs)\n";
   const bool oracle_ok =
       oracle_bit_identical && relax_reduction > 0.0 && wire_reduction > 0.0;
   ok = speedup >= min_speedup && openloop_hit_rate > 0.0 && oracle_ok &&
-       adaptive_ok && chaos_ok;
+       adaptive_ok && chaos_ok && kernels_validated;
 
   report.doc()["speedup_batch8_vs_batch1"] = speedup;
   report.doc()["min_speedup"] = min_speedup;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Documentation gate for CI (stdlib-only).
+
+Three checks:
+
+1. Link integrity: every intra-repo markdown link in the root *.md files
+   and docs/*.md resolves to an existing file (anchors are stripped;
+   http(s)/mailto links are skipped).
+2. Index reachability: every file under docs/ is reachable from the docs
+   index (docs/README.md) by following intra-repo links, so no page can
+   silently fall out of the table of contents.
+3. Schema cross-check: every report key the CI schema gate
+   (scripts/check_report_schema.py) enforces must appear literally in the
+   schema documentation (docs/telemetry.md, docs/serving.md or
+   docs/async.md).  Direction: the gate is the source of truth and the
+   docs must keep up — a key added to the gate without documentation
+   fails here; documenting extra fields the gate does not enforce is
+   fine.
+
+Usage: check_docs.py [repo-root]
+Exits non-zero listing every violation.
+"""
+
+import ast
+import pathlib
+import re
+import sys
+
+# Markdown inline link: [text](target).  Good enough for these docs —
+# no reference-style links in the repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+# Where the schema gate's enforced keys must be documented.
+SCHEMA_DOCS = ("docs/telemetry.md", "docs/serving.md", "docs/async.md")
+
+
+def markdown_files(root):
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def links_of(path):
+    """Intra-repo link targets of a markdown file, resolved to paths."""
+    out = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        out.append((target, (path.parent / target.split("#")[0]).resolve()))
+    return out
+
+
+def check_links(files, errors):
+    for path in files:
+        for target, resolved in links_of(path):
+            if not resolved.exists():
+                errors.append(f"{path}: broken link '{target}'")
+
+
+def check_reachability(root, files, errors):
+    index = root / "docs" / "README.md"
+    if not index.is_file():
+        errors.append("docs/README.md: missing (docs index)")
+        return
+    reachable = {index.resolve()}
+    queue = [index]
+    while queue:
+        page = queue.pop()
+        for _, resolved in links_of(page):
+            if resolved.suffix == ".md" and resolved.is_file():
+                if resolved not in reachable:
+                    reachable.add(resolved)
+                    queue.append(pathlib.Path(resolved))
+    for path in files:
+        if path.parent.name == "docs" and path.resolve() not in reachable:
+            errors.append(
+                f"{path}: not reachable from the docs index docs/README.md")
+
+
+def schema_gate_keys(root):
+    """Every string inside a module-level *_KEYS/*_KERNELS tuple of the
+    schema gate — the fields CI enforces on BENCH_*.json reports."""
+    gate = root / "scripts" / "check_report_schema.py"
+    tree = ast.parse(gate.read_text(encoding="utf-8"))
+    keys = set()
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not any(n.endswith(("_KEYS", "_KERNELS")) for n in names):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    keys.add(elt.value)
+    return keys
+
+
+def check_schema_documented(root, errors):
+    corpus = "\n".join(
+        (root / doc).read_text(encoding="utf-8")
+        for doc in SCHEMA_DOCS
+        if (root / doc).is_file())
+    for key in sorted(schema_gate_keys(root)):
+        if not re.search(
+                rf"(?<![A-Za-z0-9_]){re.escape(key)}(?![A-Za-z0-9_])", corpus):
+            errors.append(
+                f"scripts/check_report_schema.py: enforced key '{key}' is "
+                f"not documented in {', '.join(SCHEMA_DOCS)}")
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else ".").resolve()
+    if not (root / "docs").is_dir():
+        print(f"error: {root} has no docs/ directory", file=sys.stderr)
+        return 2
+    files = markdown_files(root)
+    errors = []
+    check_links(files, errors)
+    check_reachability(root, files, errors)
+    check_schema_documented(root, errors)
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s), {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

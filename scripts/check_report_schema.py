@@ -114,6 +114,32 @@ SERVING_CHAOS_KEYS = (
     "faulted",
     "restart",
 )
+# serving.mixed: the YCSB-style multi-kernel mix (docs/serving.md) —
+# per-class latency percentiles plus a validation digest per kernel that
+# must match a sequential reference bit for bit.
+SERVING_MIXED_KEYS = (
+    "analytics_fraction",
+    "config",
+    "workload",
+    "run",
+    "kernels",
+    "kernels_validated",
+)
+SERVING_MIXED_KERNELS = ("pagerank", "kcore", "components", "reachability")
+# Per-class carve-out inside every serving metrics block
+# (docs/telemetry.md): the distance class is global-minus-analytics.
+SERVING_CLASS_KEYS = (
+    "arrived",
+    "admitted",
+    "shed",
+    "answered",
+    "slo_violations",
+    "deadline_exceeded",
+    "degraded",
+    "failed",
+    "latency_ticks",
+)
+SERVING_POINT_CACHE_KEYS = ("hits", "misses", "inserts", "evictions")
 # breakdown.async: the gated async-vs-sync comparison (docs/async.md) —
 # distances must be bit-identical with strictly fewer global collectives.
 BREAKDOWN_ASYNC_KEYS = (
@@ -248,6 +274,69 @@ def check_serving_chaos(serving, path, errors):
             check_serving_run(run, f"serving chaos.{mode}", path, errors)
 
 
+def check_serving_classes(metrics, where, path, errors):
+    """Per-class SLO block and point-cache counters of a metrics dict."""
+    classes = metrics.get("classes")
+    if not isinstance(classes, dict):
+        errors.append(f"{path}: {where} missing 'classes'")
+    else:
+        for cls in ("distance", "analytics"):
+            block = classes.get(cls)
+            if not isinstance(block, dict):
+                errors.append(f"{path}: {where} classes missing '{cls}'")
+                continue
+            for key in SERVING_CLASS_KEYS:
+                if key not in block:
+                    errors.append(
+                        f"{path}: {where} classes.{cls} missing '{key}'")
+            latency = block.get("latency_ticks", {})
+            if isinstance(latency, dict):
+                for key in SERVING_LATENCY_KEYS:
+                    if key not in latency:
+                        errors.append(
+                            f"{path}: {where} classes.{cls} latency_ticks "
+                            f"missing '{key}'")
+    point = metrics.get("point_cache")
+    if not isinstance(point, dict):
+        errors.append(f"{path}: {where} missing 'point_cache'")
+        return
+    for key in SERVING_POINT_CACHE_KEYS:
+        if key not in point:
+            errors.append(f"{path}: {where} point_cache missing '{key}'")
+
+
+def check_serving_mixed(serving, path, errors):
+    mixed = serving.get("mixed")
+    if not isinstance(mixed, dict):
+        errors.append(f"{path}: serving section missing 'mixed'")
+        return
+    for key in SERVING_MIXED_KEYS:
+        if key not in mixed:
+            errors.append(f"{path}: serving mixed missing '{key}'")
+    if mixed.get("kernels_validated") is not True:
+        errors.append(
+            f"{path}: mixed-workload kernels not validated against the "
+            f"sequential references (kernels_validated)")
+    kernels = mixed.get("kernels", {})
+    if isinstance(kernels, dict):
+        for name in SERVING_MIXED_KERNELS:
+            block = kernels.get(name)
+            if not isinstance(block, dict):
+                errors.append(f"{path}: mixed kernels missing '{name}'")
+                continue
+            if block.get("match") is not True:
+                errors.append(
+                    f"{path}: mixed kernel '{name}' digest does not match "
+                    f"its sequential reference")
+    run = mixed.get("run")
+    if isinstance(run, dict):
+        check_serving_run(run, "serving mixed run", path, errors)
+        metrics = run.get("metrics")
+        if isinstance(metrics, dict):
+            check_serving_classes(metrics, "serving mixed run metrics",
+                                  path, errors)
+
+
 def check_serving(doc, path, errors):
     serving = doc.get("serving")
     if not isinstance(serving, dict):
@@ -288,6 +377,7 @@ def check_serving(doc, path, errors):
             if key not in adaptive:
                 errors.append(f"{path}: serving adaptive missing '{key}'")
     check_serving_chaos(serving, path, errors)
+    check_serving_mixed(serving, path, errors)
 
 
 def check_file(path, errors):

@@ -16,11 +16,24 @@
 
 namespace g500::core {
 
+/// Execution counters of one labelling run, SsspStats-style: rounds is
+/// identical on every rank (it counts collectives), labels_sent /
+/// labels_applied are this rank's share (allreduce_sum for global
+/// totals), and merge() accumulates windows the same way
+/// SsspStats::merge does — so the serving layer can fold component waves
+/// into its per-class cost breakdown instead of reporting zeros.
 struct ComponentsStats {
   std::uint64_t rounds = 0;
   std::uint64_t labels_sent = 0;
   std::uint64_t labels_applied = 0;
   double seconds = 0.0;
+
+  void merge(const ComponentsStats& other) {
+    rounds += other.rounds;
+    labels_sent += other.labels_sent;
+    labels_applied += other.labels_applied;
+    seconds += other.seconds;
+  }
 };
 
 /// Per-owned-vertex component labels (label == smallest global id in the

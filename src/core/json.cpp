@@ -44,6 +44,37 @@ util::Json to_json(const util::Log2Histogram& hist) {
   return j;
 }
 
+util::Json to_json(const ComponentsStats& stats) {
+  util::Json j = util::Json::object();
+  j["rounds"] = stats.rounds;
+  j["labels_sent"] = stats.labels_sent;
+  j["labels_applied"] = stats.labels_applied;
+  j["seconds"] = stats.seconds;
+  return j;
+}
+
+util::Json to_json(const PageRankStats& stats) {
+  util::Json j = util::Json::object();
+  j["iterations"] = stats.iterations;
+  j["contribs_gathered"] = stats.contribs_gathered;
+  j["residual"] = stats.residual;
+  j["converged"] = stats.converged;
+  j["seconds"] = stats.seconds;
+  return j;
+}
+
+util::Json to_json(const KCoreStats& stats) {
+  util::Json j = util::Json::object();
+  j["rounds"] = stats.rounds;
+  j["levels"] = stats.levels;
+  j["peeled"] = stats.peeled;
+  j["decrements_sent"] = stats.decrements_sent;
+  j["decrements_applied"] = stats.decrements_applied;
+  j["max_core"] = stats.max_core;
+  j["seconds"] = stats.seconds;
+  return j;
+}
+
 util::Json to_json(const SsspStats& stats) {
   util::Json j = util::Json::object();
   j["schema_version"] = kSsspStatsSchemaVersion;

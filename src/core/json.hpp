@@ -5,6 +5,9 @@
 // non-breaking.
 #pragma once
 
+#include "core/components.hpp"
+#include "core/kcore.hpp"
+#include "core/pagerank.hpp"
 #include "core/runner.hpp"
 #include "core/sssp_types.hpp"
 #include "util/histogram.hpp"
@@ -27,6 +30,13 @@ constexpr int kBenchmarkReportSchemaVersion = 1;
 /// Execution counters of one run, including the checkpoint/recovery
 /// counters and (when collected) the per-bucket trace.
 [[nodiscard]] util::Json to_json(const SsspStats& stats);
+
+/// Analytics-kernel counters (docs/kernels.md): rounds/labels of a
+/// components labelling, iterations/residual of a PageRank run, the
+/// peel schedule of a k-core decomposition.
+[[nodiscard]] util::Json to_json(const ComponentsStats& stats);
+[[nodiscard]] util::Json to_json(const PageRankStats& stats);
+[[nodiscard]] util::Json to_json(const KCoreStats& stats);
 
 /// One root's outcome under the benchmark protocol.
 [[nodiscard]] util::Json to_json(const RootRun& run);

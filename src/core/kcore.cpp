@@ -1,0 +1,111 @@
+#include "core/kcore.hpp"
+
+#include <algorithm>
+
+#include "core/bucket_queue.hpp"
+#include "util/timer.hpp"
+
+namespace g500::core {
+
+using graph::LocalId;
+using graph::VertexId;
+
+namespace {
+
+/// One coalesced degree decrement on the wire.
+struct Decrement {
+  VertexId target;
+  std::uint32_t count;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> kcore(simmpi::Comm& comm,
+                                 const graph::DistGraph& g,
+                                 KCoreStats* stats) {
+  KCoreStats scratch;
+  KCoreStats& st = stats != nullptr ? *stats : scratch;
+  util::Timer total;
+
+  const int P = comm.size();
+  const int rank = comm.rank();
+  const auto local_n = static_cast<LocalId>(g.part.count(rank));
+
+  std::vector<std::uint64_t> deg(local_n);
+  std::vector<char> alive(local_n, 1);
+  std::vector<std::uint32_t> core(local_n, 0);
+  BucketQueue bq(local_n);
+  for (LocalId v = 0; v < local_n; ++v) {
+    deg[v] = g.csr.degree(v);
+    bq.update(v, deg[v]);
+  }
+  std::uint64_t remaining = local_n;
+
+  // Global minimum occupied bucket (kNone when every rank is drained);
+  // min(x) == ~max(~x) over unsigned, and kNone is all-ones so an empty
+  // rank contributes the identity.
+  const auto global_min_bucket = [&]() {
+    return ~comm.allreduce_max(~bq.next_nonempty(0));
+  };
+
+  std::vector<std::vector<Decrement>> outbox(static_cast<std::size_t>(P));
+  std::vector<VertexId> targets;
+
+  while (comm.allreduce_sum(remaining) > 0) {
+    // Jump straight to the lowest occupied residual degree anywhere: every
+    // level below it already quiesced, so the levels in between are empty.
+    const std::uint64_t k = global_min_bucket();
+    ++st.levels;
+
+    // Peel rounds at level k until no rank holds a vertex at or below it.
+    for (;;) {
+      std::vector<LocalId> peeled;
+      for (std::uint64_t b = bq.next_nonempty(0);
+           b != BucketQueue::kNone && b <= k; b = bq.next_nonempty(b)) {
+        const auto batch = bq.extract(b);
+        peeled.insert(peeled.end(), batch.begin(), batch.end());
+      }
+      targets.clear();
+      for (const auto v : peeled) {
+        core[v] = static_cast<std::uint32_t>(k);
+        alive[v] = 0;
+        --remaining;
+        ++st.peeled;
+        for (std::uint64_t e = g.csr.edges_begin(v); e < g.csr.edges_end(v);
+             ++e) {
+          targets.push_back(g.csr.dst(e));
+        }
+      }
+      // Coalesce: one (target, count) entry per distinct neighbour.
+      std::sort(targets.begin(), targets.end());
+      for (std::size_t i = 0; i < targets.size();) {
+        std::size_t j = i;
+        while (j < targets.size() && targets[j] == targets[i]) ++j;
+        outbox[static_cast<std::size_t>(g.part.owner(targets[i]))].push_back(
+            Decrement{targets[i], static_cast<std::uint32_t>(j - i)});
+        i = j;
+      }
+      for (const auto& box : outbox) st.decrements_sent += box.size();
+      const std::vector<Decrement> incoming = comm.alltoallv(outbox);
+      for (auto& box : outbox) box.clear();
+      ++st.rounds;
+      for (const auto& d : incoming) {
+        const LocalId t = g.part.local(d.target);
+        if (alive[t] == 0) continue;
+        deg[t] = deg[t] > d.count ? deg[t] - d.count : 0;
+        bq.update(t, deg[t]);
+        ++st.decrements_applied;
+      }
+      const std::uint64_t low = bq.next_nonempty(0);
+      if (!comm.allreduce_or(low != BucketQueue::kNone && low <= k)) break;
+    }
+  }
+
+  std::uint32_t local_max = 0;
+  for (const auto c : core) local_max = std::max(local_max, c);
+  st.max_core = comm.allreduce_max(local_max);
+  st.seconds = total.seconds();
+  return core;
+}
+
+}  // namespace g500::core

@@ -1,0 +1,49 @@
+// Distributed k-core decomposition by bucketed peeling.
+//
+// The coreness of a vertex is the largest k such that it survives in the
+// k-core (the maximal subgraph where every vertex has degree >= k).  The
+// classic peeling schedule computes it exactly: process levels k = 0, 1,
+// 2, ... and at each level repeatedly remove every remaining vertex whose
+// residual degree is <= k, assigning it coreness k, until the level
+// quiesces globally.  Removals decrement neighbours' residual degrees,
+// which may drag them into the current level — the same wavefront
+// structure as delta-stepping's bucket schedule, so the engine reuses
+// core::BucketQueue (lazy-deletion buckets keyed by residual degree) for
+// its worklist, following GBBS's bucketing formulation of the kernel.
+//
+// Decrements are coalesced per (owner, target) into one alltoallv per
+// peel round; a level advances when an allreduce agrees no rank holds a
+// vertex at or below it.  Empty levels are skipped by reducing the global
+// minimum occupied bucket.  Coreness is unique (independent of peel
+// order), so the output is deterministic across rank counts and matches a
+// sequential reference exactly.
+//
+// SPMD: call from every rank inside World::run; returns this rank's owned
+// coreness slice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+struct KCoreStats {
+  std::uint64_t rounds = 0;       ///< peel/exchange rounds (collective count)
+  std::uint64_t levels = 0;       ///< distinct occupied core levels processed
+  std::uint64_t peeled = 0;       ///< vertices this rank assigned a coreness
+  std::uint64_t decrements_sent = 0;     ///< coalesced (target, count) entries
+  std::uint64_t decrements_applied = 0;  ///< entries applied to live vertices
+  std::uint32_t max_core = 0;     ///< global degeneracy (identical on all ranks)
+  double seconds = 0.0;
+};
+
+/// Coreness of this rank's owned vertices (indexed by local id; isolated
+/// vertices get 0).
+[[nodiscard]] std::vector<std::uint32_t> kcore(simmpi::Comm& comm,
+                                               const graph::DistGraph& g,
+                                               KCoreStats* stats = nullptr);
+
+}  // namespace g500::core

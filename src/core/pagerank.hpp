@@ -1,0 +1,69 @@
+// Distributed PageRank over the 1-D partitioned CSR.
+//
+// Power iteration in its undirected form: every iteration each vertex
+// divides its mass over its (deduplicated) neighbours and collects the
+// contributions of those neighbours, damped toward the uniform vector —
+//
+//   pr'(v) = (1 - d) / n + d * sum_{u in N(v)} pr(u) / deg(u)
+//
+// Dangling vertices (deg == 0) keep their teleport share but contribute
+// nothing, so their mass leaks and the vector's sum converges below 1;
+// this deliberate choice keeps the value math free of any cross-vertex
+// float reduction, which is what makes the distributed run *bit-identical*
+// to a sequential reference.
+//
+// Determinism contract: each vertex sums its neighbours' contributions in
+// ascending neighbour-id order (a per-vertex permutation of the
+// weight-sorted CSR computed once up front), and the full contribution
+// vector is assembled with one allgatherv per iteration (rank-order
+// concatenation == global vertex order under the block partition).  The
+// result is therefore identical across rank counts, and equal bit-for-bit
+// to a sequential implementation that sums sorted deduplicated adjacency.
+// The L1 residual used for the tolerance stop is the only cross-vertex
+// reduction; it is reduced in fixed rank order, so the iteration count is
+// deterministic for a fixed rank count (and in practice across rank
+// counts — the residual would have to straddle the tolerance within one
+// ulp to differ).
+//
+// SPMD: call from every rank inside World::run; returns this rank's owned
+// slice of the PageRank vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::core {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  /// Hard iteration cap (also the deadline-budget hook for the serving
+  /// layer: a truncated run reports converged == false).
+  std::uint64_t max_iters = 20;
+  /// Stop once the global L1 residual |pr' - pr| drops to this value or
+  /// below; 0 disables the residual stop (run exactly max_iters).
+  double tolerance = 0.0;
+};
+
+struct PageRankStats {
+  std::uint64_t iterations = 0;
+  /// Contribution entries this rank shipped through the per-iteration
+  /// allgatherv (owned count x iterations).
+  std::uint64_t contribs_gathered = 0;
+  /// Global L1 residual after the last iteration.
+  double residual = 0.0;
+  /// True when the run stopped on the tolerance, false when the iteration
+  /// cap cut it off first (always false when tolerance == 0).
+  bool converged = false;
+  double seconds = 0.0;
+};
+
+/// PageRank values for this rank's owned vertices (indexed by local id).
+[[nodiscard]] std::vector<double> pagerank(simmpi::Comm& comm,
+                                           const graph::DistGraph& g,
+                                           const PageRankConfig& config = {},
+                                           PageRankStats* stats = nullptr);
+
+}  // namespace g500::core

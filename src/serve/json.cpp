@@ -68,6 +68,19 @@ util::Json to_json(const ServeConfig& config) {
   backoff["seed"] = config.fault.backoff.seed;
   fault["backoff"] = std::move(backoff);
   j["fault"] = std::move(fault);
+  util::Json analytics = util::Json::object();
+  analytics["queue_depth"] =
+      static_cast<std::uint64_t>(config.analytics_queue_depth);
+  analytics["slo_ticks"] = config.analytics_slo_ticks;
+  analytics["defer_ticks"] = config.analytics_defer_ticks;
+  analytics["deadline_iters_per_tick"] = config.deadline_iters_per_tick;
+  util::Json pagerank = util::Json::object();
+  pagerank["damping"] = config.analytics.pagerank.damping;
+  pagerank["max_iters"] = config.analytics.pagerank.max_iters;
+  pagerank["tolerance"] = config.analytics.pagerank.tolerance;
+  analytics["pagerank"] = std::move(pagerank);
+  j["analytics"] = std::move(analytics);
+  j["point_cache_cap"] = static_cast<std::uint64_t>(config.point_cache_cap);
   return j;
 }
 
@@ -80,6 +93,11 @@ util::Json to_json(const WorkloadConfig& config) {
   j["zipf_s"] = config.zipf_s;
   j["nearest_fraction"] = config.nearest_fraction;
   j["deadline_ticks"] = config.deadline_ticks;
+  j["analytics_fraction"] = config.analytics_fraction;
+  util::Json weights = util::Json::array();
+  for (const auto w : config.kernel_weights) weights.push_back(w);
+  j["kernel_weights"] = std::move(weights);
+  j["analytics_deadline_ticks"] = config.analytics_deadline_ticks;
   j["root_universe"] = static_cast<std::uint64_t>(config.roots.size());
   j["num_vertices"] = config.num_vertices;
   return j;
@@ -162,6 +180,54 @@ util::Json to_json(const ServiceMetrics& metrics) {
   j["batch_occupancy"] = hist_with_percentiles(metrics.batch_occupancy);
   j["queue_depth"] = hist_with_percentiles(metrics.queue_depth);
   j["cache"] = to_json(metrics.cache);
+  // Per-class carve-out: the top-level counters cover BOTH classes; the
+  // distance class is the difference (slo_violations is already
+  // distance-only — the analytics class counts against its own target).
+  util::Json classes = util::Json::object();
+  util::Json dist = util::Json::object();
+  dist["arrived"] = metrics.arrived - metrics.analytics_arrived;
+  dist["admitted"] = metrics.admitted - metrics.analytics_admitted;
+  dist["shed"] = metrics.shed - metrics.analytics_shed;
+  dist["answered"] = metrics.answered - metrics.analytics_answered;
+  dist["slo_violations"] = metrics.slo_violations;
+  dist["deadline_exceeded"] =
+      metrics.deadline_exceeded - metrics.analytics_deadline_exceeded;
+  dist["degraded"] = metrics.degraded - metrics.analytics_degraded;
+  dist["failed"] = metrics.failed_queries - metrics.analytics_failed;
+  dist["latency_ticks"] = hist_with_percentiles(metrics.latency_ticks);
+  classes["distance"] = std::move(dist);
+  util::Json ana = util::Json::object();
+  ana["arrived"] = metrics.analytics_arrived;
+  ana["admitted"] = metrics.analytics_admitted;
+  ana["shed"] = metrics.analytics_shed;
+  ana["answered"] = metrics.analytics_answered;
+  ana["slo_violations"] = metrics.analytics_slo_violations;
+  ana["deadline_exceeded"] = metrics.analytics_deadline_exceeded;
+  ana["degraded"] = metrics.analytics_degraded;
+  ana["failed"] = metrics.analytics_failed;
+  ana["jobs"] = metrics.analytics_jobs;
+  ana["memo_hits"] = metrics.analytics_memo_hits;
+  ana["deferred_ticks"] = metrics.analytics_deferred_ticks;
+  ana["reachability_cutoffs"] = metrics.reachability_cutoffs;
+  util::Json per_kernel = util::Json::object();
+  for (std::size_t k = 0; k < metrics.kernel_jobs.size(); ++k) {
+    per_kernel[std::string(kernel_name(static_cast<AnalyticsKernel>(k)))] =
+        metrics.kernel_jobs[k];
+  }
+  ana["kernel_jobs"] = std::move(per_kernel);
+  ana["rounds"] = metrics.analytics_rounds;
+  ana["items_sent"] = metrics.analytics_items_sent;
+  ana["items_applied"] = metrics.analytics_items_applied;
+  ana["seconds"] = metrics.analytics_seconds;
+  ana["latency_ticks"] = hist_with_percentiles(metrics.analytics_latency_ticks);
+  classes["analytics"] = std::move(ana);
+  j["classes"] = std::move(classes);
+  util::Json point = util::Json::object();
+  point["hits"] = metrics.point_cache_hits;
+  point["misses"] = metrics.point_cache_misses;
+  point["inserts"] = metrics.point_cache_inserts;
+  point["evictions"] = metrics.point_cache_evictions;
+  j["point_cache"] = std::move(point);
   return j;
 }
 

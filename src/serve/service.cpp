@@ -26,6 +26,7 @@ DistanceService::DistanceService(simmpi::Comm& comm,
       // are rank-independent (see cache.hpp).
       cache_(config_.cache_budget_bytes,
              g.part.count(0) * sizeof(graph::Weight)),
+      registry_(config_.analytics),
       fault_(fault) {
   if (config_.queue_depth == 0) {
     throw std::invalid_argument("DistanceService: queue_depth must be >= 1");
@@ -39,6 +40,10 @@ DistanceService::DistanceService(simmpi::Comm& comm,
   if (config_.fault.max_wave_attempts < 1) {
     throw std::invalid_argument(
         "DistanceService: max_wave_attempts must be >= 1");
+  }
+  if (config_.analytics_queue_depth == 0) {
+    throw std::invalid_argument(
+        "DistanceService: analytics_queue_depth must be >= 1");
   }
   for (const auto f : config_.facilities) {
     if (f >= g_.num_vertices) {
@@ -70,12 +75,38 @@ bool DistanceService::submit(const Query& q) {
     throw std::invalid_argument(
         "DistanceService: nearest query without a facility set");
   }
-  if (q.target >= g_.num_vertices ||
-      (q.kind == QueryKind::kPointToPoint && q.root >= g_.num_vertices)) {
+  if (q.kind == QueryKind::kAnalytics) {
+    if (q.kernel == AnalyticsKernel::kReachability &&
+        (q.root >= g_.num_vertices || q.target >= g_.num_vertices)) {
+      throw std::out_of_range(
+          "DistanceService: reachability vertex out of range");
+    }
+  } else if (q.target >= g_.num_vertices ||
+             (q.kind == QueryKind::kPointToPoint &&
+              q.root >= g_.num_vertices)) {
     throw std::out_of_range("DistanceService: query vertex out of range");
   }
   ++metrics_.arrived;
   ++arrived_since_tick_;
+  if (q.kind == QueryKind::kAnalytics) {
+    // Analytics jobs have their own bounded queue so they can never crowd
+    // distance reads out of admission (and vice versa).
+    ++metrics_.analytics_arrived;
+    if (analytics_queue_.size() >= config_.analytics_queue_depth) {
+      ++metrics_.shed;
+      ++metrics_.analytics_shed;
+      if (config_.shed_policy == ShedPolicy::kRejectNew) {
+        log_shed(q);
+        return false;
+      }
+      log_shed(analytics_queue_.front());
+      analytics_queue_.pop_front();
+    }
+    ++metrics_.admitted;
+    ++metrics_.analytics_admitted;
+    analytics_queue_.push_back(q);
+    return true;
+  }
   if (queue_.size() >= config_.queue_depth) {
     if (config_.shed_policy == ShedPolicy::kRejectNew) {
       ++metrics_.shed;
@@ -102,6 +133,10 @@ void DistanceService::log_shed(const Query& q) {
 
 void DistanceService::restore_backlog(const std::vector<Query>& backlog) {
   for (const auto& q : backlog) {
+    if (q.kind == QueryKind::kAnalytics) {
+      analytics_queue_.push_back(q);
+      continue;
+    }
     if (q.target >= g_.num_vertices ||
         (q.kind == QueryKind::kPointToPoint && q.root >= g_.num_vertices)) {
       throw std::out_of_range("DistanceService: backlog vertex out of range");
@@ -213,7 +248,31 @@ void ServiceMetrics::merge(const ServiceMetrics& other) {
   wave_resumes += other.wave_resumes;
   breaker_half_opened += other.breaker_half_opened;
   breaker_closed += other.breaker_closed;
+  analytics_arrived += other.analytics_arrived;
+  analytics_admitted += other.analytics_admitted;
+  analytics_shed += other.analytics_shed;
+  analytics_answered += other.analytics_answered;
+  analytics_slo_violations += other.analytics_slo_violations;
+  analytics_deadline_exceeded += other.analytics_deadline_exceeded;
+  analytics_degraded += other.analytics_degraded;
+  analytics_failed += other.analytics_failed;
+  analytics_jobs += other.analytics_jobs;
+  analytics_memo_hits += other.analytics_memo_hits;
+  analytics_deferred_ticks += other.analytics_deferred_ticks;
+  reachability_cutoffs += other.reachability_cutoffs;
+  for (std::size_t k = 0; k < kernel_jobs.size(); ++k) {
+    kernel_jobs[k] += other.kernel_jobs[k];
+  }
+  analytics_rounds += other.analytics_rounds;
+  analytics_items_sent += other.analytics_items_sent;
+  analytics_items_applied += other.analytics_items_applied;
+  analytics_seconds += other.analytics_seconds;
+  point_cache_hits += other.point_cache_hits;
+  point_cache_misses += other.point_cache_misses;
+  point_cache_inserts += other.point_cache_inserts;
+  point_cache_evictions += other.point_cache_evictions;
   latency_ticks.merge(other.latency_ticks);
+  analytics_latency_ticks.merge(other.analytics_latency_ticks);
   batch_occupancy.merge(other.batch_occupancy);
   queue_depth.merge(other.queue_depth);
   wave_seconds += other.wave_seconds;
@@ -265,44 +324,61 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
 
   // ---- deadline sweep: expired waiters complete NOW ------------------
   // Local bookkeeping only (no collectives), so it stays deterministic
-  // across ranks and cheap on idle ticks.
-  bool any_expired = false;
-  for (const auto& q : queue_) {
-    if (q.deadline_tick != 0 && now >= q.deadline_tick) {
-      any_expired = true;
-      break;
+  // across ranks and cheap on idle ticks.  Both classes expire the same
+  // way; analytics expiries also feed the per-class counter.
+  const auto sweep = [&](std::deque<Query>& queue) {
+    bool any_expired = false;
+    for (const auto& q : queue) {
+      if (q.deadline_tick != 0 && now >= q.deadline_tick) {
+        any_expired = true;
+        break;
+      }
     }
-  }
-  if (any_expired) {
+    if (!any_expired) return;
     std::deque<Query> keep;
-    for (const auto& q : queue_) {
+    for (const auto& q : queue) {
       if (q.deadline_tick != 0 && now >= q.deadline_tick) {
         Answer a;
         a.id = q.id;
         a.kind = q.kind;
         a.root = q.root;
         a.target = q.target;
+        a.kernel = q.kernel;
         a.distance = graph::kInfDistance;
         a.outcome = Outcome::kDeadlineExceeded;
         a.arrival_tick = q.arrival_tick;
         a.completion_tick = now;
         ++metrics_.deadline_exceeded;
+        if (q.kind == QueryKind::kAnalytics) {
+          ++metrics_.analytics_deadline_exceeded;
+        }
         answers.push_back(a);
       } else {
         keep.push_back(q);
       }
     }
-    queue_.swap(keep);
-  }
+    queue.swap(keep);
+  };
+  sweep(queue_);
+  sweep(analytics_queue_);
 
+  // Distance micro-batch first — the cheap class must keep flowing — then
+  // at most one analytics job.
+  dispatch_distance_batch(now, flush, answers);
+  run_analytics_stage(now, flush, answers);
+  return answers;
+}
+
+void DistanceService::dispatch_distance_batch(std::uint64_t now, bool flush,
+                                              std::vector<Answer>& answers) {
   const std::size_t batch_limit = current_batch_size();
   const std::uint64_t max_wait = current_max_wait_ticks();
   metrics_.queue_depth.add(queue_.size());
-  if (queue_.empty()) return answers;
+  if (queue_.empty()) return;
 
   const bool deadline = now >= queue_.front().arrival_tick + max_wait;
   const bool full = queue_.size() >= batch_limit;
-  if (!flush && !deadline && !full) return answers;
+  if (!flush && !deadline && !full) return;
 
   // ---- form the batch (FIFO prefix) ----------------------------------
   const std::size_t take = std::min(queue_.size(), batch_limit);
@@ -312,6 +388,27 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
                                    static_cast<std::ptrdiff_t>(take));
   ++metrics_.batches;
   metrics_.batch_occupancy.add(batch.size());
+
+  // ---- exact point cache: earlier pruned waves carry over -------------
+  // A pruned slice is exact at its targets even though it never enters the
+  // root cache; those point values were banked at completion, so a repeat
+  // of the same (root, target) pair costs a map lookup here instead of
+  // another wave.  Hits skip the oracle pass, dedupe and fetch entirely.
+  std::vector<char> from_point(batch.size(), 0);
+  std::vector<graph::Weight> point_val(batch.size(), graph::kInfDistance);
+  if (config_.point_cache_cap > 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind != QueryKind::kPointToPoint) continue;
+      if (const graph::Weight* hit =
+              lookup_point(batch[i].root, batch[i].target)) {
+        from_point[i] = 1;
+        point_val[i] = *hit;
+        ++metrics_.point_cache_hits;
+      } else {
+        ++metrics_.point_cache_misses;
+      }
+    }
+  }
 
   // ---- oracle pass: bound every point-to-point pair ------------------
   // One collective row fetch covers all distinct endpoints; the bound
@@ -323,8 +420,10 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   std::vector<char> direct(batch.size(), 0);
   bool any_p2p = false;
   if (oracle_) {
-    for (const auto& q : batch) {
-      if (q.kind == QueryKind::kPointToPoint) any_p2p = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind == QueryKind::kPointToPoint && !from_point[i]) {
+        any_p2p = true;
+      }
     }
   }
   if (oracle_ && any_p2p) {
@@ -339,13 +438,13 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
     };
     std::vector<std::size_t> root_row(batch.size(), 0);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].kind != QueryKind::kPointToPoint) continue;
+      if (batch[i].kind != QueryKind::kPointToPoint || from_point[i]) continue;
       root_row[i] = index_of(batch[i].root);
       target_row[i] = index_of(batch[i].target);
     }
     rows = oracle_->landmark_distances(verts);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].kind != QueryKind::kPointToPoint) continue;
+      if (batch[i].kind != QueryKind::kPointToPoint || from_point[i]) continue;
       verdict[i] = oracle_->bounds(rows[root_row[i]], rows[target_row[i]],
                                    batch[i].root, batch[i].target);
       if (verdict[i].exact) {
@@ -364,7 +463,7 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   std::vector<std::vector<std::size_t>> members;
   std::vector<std::uint32_t> slot_of(batch.size(), kNoSlot);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (direct[i]) continue;
+    if (direct[i] || from_point[i]) continue;
     const graph::VertexId key = batch[i].kind == QueryKind::kNearestFacility
                                     ? facility_key()
                                     : batch[i].root;
@@ -476,7 +575,7 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   std::vector<std::size_t> fetch_idx(batch.size(), 0);
   fetches.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (direct[i] || refused[slot_of[i]]) continue;
+    if (direct[i] || from_point[i] || refused[slot_of[i]]) continue;
     fetch_idx[i] = fetches.size();
     fetches.push_back(core::SlotQuery{slot_of[i], batch[i].target});
   }
@@ -499,7 +598,11 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
     a.target = batch[i].target;
     a.arrival_tick = batch[i].arrival_tick;
     a.completion_tick = now;
-    if (direct[i]) {
+    if (from_point[i]) {
+      a.distance = point_val[i];
+      a.from_point_cache = true;
+      a.lb = a.ub = a.distance;
+    } else if (direct[i]) {
       a.distance = verdict[i].ub;
       a.from_oracle = true;
       a.lb = a.ub = a.distance;
@@ -542,17 +645,126 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
       ++metrics_.answered;
       metrics_.latency_ticks.add(a.latency_ticks());
       if (a.latency_ticks() > config_.slo_ticks) ++metrics_.slo_violations;
+      if (a.pruned_wave) {
+        // Bank the carry-over: the pruned slice is exact at this target
+        // even though the slice itself was never cacheable.
+        insert_point(a.root, a.target, a.distance);
+      }
     }
     answers.push_back(a);
   }
-  return answers;
+}
+
+void DistanceService::run_analytics_stage(std::uint64_t now, bool flush,
+                                          std::vector<Answer>& answers) {
+  if (analytics_queue_.empty()) return;
+  // Scheduler policy: an analytics job runs only when it has aged past the
+  // defer bound, the distance queue has gone idle, or the tick is a flush
+  // — and never more than one per tick, so a burst of jobs cannot lock
+  // the wave engine away from distance batches.
+  const bool aged = now >= analytics_queue_.front().arrival_tick +
+                              config_.analytics_defer_ticks;
+  if (!flush && !aged && !queue_.empty()) {
+    ++metrics_.analytics_deferred_ticks;
+    return;
+  }
+  const Query q = analytics_queue_.front();
+  analytics_queue_.pop_front();
+
+  Answer a;
+  a.id = q.id;
+  a.kind = q.kind;
+  a.root = q.root;
+  a.target = q.target;
+  a.kernel = q.kernel;
+  a.arrival_tick = q.arrival_tick;
+  a.completion_tick = now;
+
+  if (breaker_.state == BreakerState::kOpen) {
+    // An open breaker withholds analytics collectives just like waves;
+    // jobs don't probe (a cheap distance wave is the better canary).
+    a.distance = graph::kInfDistance;
+    a.outcome = Outcome::kFailed;
+    ++metrics_.failed_queries;
+    ++metrics_.analytics_failed;
+    answers.push_back(a);
+    return;
+  }
+
+  const auto slot = static_cast<std::size_t>(q.kernel);
+  const bool memoizable = q.kernel != AnalyticsKernel::kReachability;
+  AnalyticsOutcome out;
+  if (memoizable && memo_[slot]) {
+    // The graph is immutable, so a completed untruncated whole-graph run
+    // answers every later job of the same kernel without a collective.
+    out = *memo_[slot];
+    a.from_cache = true;
+    ++metrics_.analytics_memo_hits;
+  } else {
+    // Deadline budget: remaining ticks map onto a PageRank iteration cap
+    // exactly how distance deadlines map onto bucket budgets (the sweep
+    // guarantees deadline_tick > now for anything still queued).
+    std::uint64_t iter_budget = 0;
+    if (config_.deadline_iters_per_tick != 0 && q.deadline_tick != 0) {
+      iter_budget = (q.deadline_tick - now) * config_.deadline_iters_per_tick;
+    }
+    out = registry_.run(comm_, g_, q.kernel, q.root, q.target,
+                        oracle_ ? &*oracle_ : nullptr, iter_budget);
+    ++metrics_.analytics_jobs;
+    ++metrics_.kernel_jobs[slot];
+    metrics_.analytics_rounds += out.rounds;
+    metrics_.analytics_items_sent += out.items_sent;
+    metrics_.analytics_items_applied += out.items_applied;
+    metrics_.analytics_seconds += out.seconds;
+    if (out.oracle_short_circuit) ++metrics_.reachability_cutoffs;
+    if (memoizable && !out.truncated) memo_[slot] = out;
+  }
+
+  a.value = out.value;
+  a.digest = out.digest;
+  a.lb = a.ub = a.distance;
+  if (out.truncated) {
+    a.outcome = Outcome::kDegraded;
+    ++metrics_.degraded;
+    ++metrics_.analytics_degraded;
+  } else {
+    ++metrics_.answered;
+    ++metrics_.analytics_answered;
+    metrics_.analytics_latency_ticks.add(a.latency_ticks());
+    if (a.latency_ticks() > config_.analytics_slo_ticks) {
+      ++metrics_.analytics_slo_violations;
+    }
+  }
+  answers.push_back(a);
+}
+
+const graph::Weight* DistanceService::lookup_point(
+    graph::VertexId root, graph::VertexId target) const {
+  if (config_.point_cache_cap == 0) return nullptr;
+  const auto it = point_cache_.find({root, target});
+  return it != point_cache_.end() ? &it->second : nullptr;
+}
+
+void DistanceService::insert_point(graph::VertexId root,
+                                   graph::VertexId target,
+                                   graph::Weight distance) {
+  if (config_.point_cache_cap == 0) return;
+  const std::pair<graph::VertexId, graph::VertexId> key{root, target};
+  if (!point_cache_.emplace(key, distance).second) return;  // resident
+  ++metrics_.point_cache_inserts;
+  point_order_.push_back(key);
+  if (point_order_.size() > config_.point_cache_cap) {
+    point_cache_.erase(point_order_.front());
+    point_order_.pop_front();
+    ++metrics_.point_cache_evictions;
+  }
 }
 
 std::vector<Answer> DistanceService::drain(std::uint64_t start_tick,
                                            std::uint64_t* end_tick) {
   std::vector<Answer> all;
   std::uint64_t now = start_tick;
-  while (!queue_.empty()) {
+  while (pending() > 0) {
     auto batch = tick(now++, /*flush=*/true);
     all.insert(all.end(), batch.begin(), batch.end());
   }

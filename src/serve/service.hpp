@@ -1,7 +1,6 @@
-// Online distance-query service on top of the distributed delta-stepping
-// engine.
+// Online analytics service on top of the distributed graph kernels.
 //
-// The service turns the offline SSSP kernel into a request-serving loop
+// The service turns the offline kernels into a request-serving loop
 // with the shape of an inference-serving stack:
 //
 //   * admission queue — bounded depth; over-capacity arrivals are shed
@@ -24,8 +23,23 @@
 //     targets but stale elsewhere, so they never enter the cache;
 //   * root-result cache — LRU over per-rank distance slices (cache.hpp),
 //     so popular roots skip the wave entirely;
-//   * SLO telemetry — latency (in ticks) histograms with interpolated
-//     p50/p90/p99, queue depth, batch occupancy, shed and cache counters.
+//   * exact point cache — a tiny FIFO of (root, target) -> distance
+//     entries proven exact by earlier pruned waves; it sits IN FRONT of
+//     the slice cache, so a repeated point query costs a map lookup
+//     instead of a wave (pruned slices themselves are never cacheable);
+//   * analytics class — kAnalytics queries queue separately (bounded by
+//     analytics_queue_depth) and run through the kernel registry
+//     (kernels.hpp: PageRank, k-core, components, reachability).  The
+//     scheduler keeps cheap distance batches flowing: every tick serves
+//     the distance batch first, then at most ONE analytics job, and only
+//     when the job has aged past analytics_defer_ticks, the distance
+//     queue is idle, or the tick is a flush.  Whole-graph results are
+//     memoized (the graph is immutable), and a job's deadline budget maps
+//     onto a PageRank iteration cap through deadline_iters_per_tick the
+//     same way distance deadlines map onto bucket budgets;
+//   * SLO telemetry — PER-CLASS latency (in ticks) histograms with
+//     interpolated p50/p90/p99 and per-class SLO targets, queue depth,
+//     batch occupancy, shed and cache counters.
 //
 // SPMD contract: construct one DistanceService per rank inside
 // World::run, feed every rank the identical submission sequence (the
@@ -41,11 +55,15 @@
 #include <optional>
 #include <vector>
 
+#include <array>
+#include <map>
+
 #include "core/delta_stepping.hpp"
 #include "graph/builder.hpp"
 #include "serve/adaptive.hpp"
 #include "serve/cache.hpp"
 #include "serve/fault.hpp"
+#include "serve/kernels.hpp"
 #include "serve/oracle.hpp"
 #include "serve/workload.hpp"
 #include "simmpi/comm.hpp"
@@ -76,6 +94,25 @@ struct ServeConfig {
   /// (ServiceMetrics::shed_log_overflow counts the drops).  Must be >= 1.
   std::size_t shed_log_cap = 4096;
   FaultToleranceConfig fault;      ///< retry/degradation/breaker knobs
+
+  // ---- analytics class -------------------------------------------------
+  AnalyticsConfig analytics;       ///< kernel-registry knobs
+  /// Admission bound of the analytics queue (>= 1); the distance class
+  /// keeps queue_depth to itself so analytics jobs can never crowd out
+  /// distance reads at admission.
+  std::size_t analytics_queue_depth = 16;
+  /// Per-class latency objective for analytics jobs (violations counted
+  /// separately from the distance-class slo_ticks).
+  std::uint64_t analytics_slo_ticks = 256;
+  /// Scheduler aging bound: an analytics job may be deferred behind
+  /// distance traffic for at most this many ticks before it runs anyway.
+  std::uint64_t analytics_defer_ticks = 8;
+  /// Deadline budget for analytics jobs: remaining ticks x this = the
+  /// PageRank iteration cap (0 disables; the analogue of
+  /// fault.deadline_buckets_per_tick for distance waves).
+  std::uint64_t deadline_iters_per_tick = 0;
+  /// Entry bound of the exact point cache (FIFO; 0 disables it).
+  std::size_t point_cache_cap = 1024;
 };
 
 /// How a query's lifecycle ended.
@@ -106,6 +143,14 @@ struct Answer {
   graph::Weight ub = graph::kInfDistance;
   std::uint64_t arrival_tick = 0;
   std::uint64_t completion_tick = 0;
+  /// Served from the exact point cache (no oracle pass, wave or fetch).
+  bool from_point_cache = false;
+  /// Analytics fields (valid when kind == kAnalytics): which kernel ran,
+  /// its headline scalar (see AnalyticsOutcome::value) and its validation
+  /// digest.  kDegraded here means a deadline-capped (truncated) kernel.
+  AnalyticsKernel kernel = AnalyticsKernel::kPageRank;
+  double value = 0.0;
+  std::uint64_t digest = 0;
   /// Saturating: a flush can complete a query on an earlier tick than its
   /// recorded arrival only if the caller's clocks disagree; report 0
   /// rather than wrapping to ~2^64.
@@ -147,9 +192,41 @@ struct ServiceMetrics {
   std::uint64_t breaker_half_opened = 0;  ///< open -> half-open transitions
   std::uint64_t breaker_closed = 0;       ///< half-open -> closed transitions
 
-  util::Log2Histogram latency_ticks;     ///< per answered query
+  // ---- analytics class (zero unless kAnalytics queries arrive) --------
+  // The global counters above cover BOTH classes (arrived/admitted/shed/
+  // answered/deadline_exceeded/degraded/failed_queries include analytics
+  // jobs); the analytics_* fields carve out the analytics share, so the
+  // distance class is always the difference.
+  std::uint64_t analytics_arrived = 0;
+  std::uint64_t analytics_admitted = 0;
+  std::uint64_t analytics_shed = 0;
+  std::uint64_t analytics_answered = 0;
+  std::uint64_t analytics_slo_violations = 0;  ///< vs analytics_slo_ticks
+  std::uint64_t analytics_deadline_exceeded = 0;
+  std::uint64_t analytics_degraded = 0;  ///< truncated (iteration-capped) kernels
+  std::uint64_t analytics_failed = 0;    ///< refused by an open breaker
+  std::uint64_t analytics_jobs = 0;      ///< kernel executions (memo misses)
+  std::uint64_t analytics_memo_hits = 0; ///< whole-graph results reused
+  std::uint64_t analytics_deferred_ticks = 0;  ///< job waited behind distance load
+  std::uint64_t reachability_cutoffs = 0;  ///< oracle settled a pair, no BFS
+  std::array<std::uint64_t, kNumAnalyticsKernels> kernel_jobs{};
+  /// Kernel-cost breakdown summed over executed jobs (rounds identical on
+  /// every rank; items_* are this rank's share — see AnalyticsOutcome).
+  std::uint64_t analytics_rounds = 0;
+  std::uint64_t analytics_items_sent = 0;
+  std::uint64_t analytics_items_applied = 0;
+  double analytics_seconds = 0.0;
+
+  // ---- exact point cache ----------------------------------------------
+  std::uint64_t point_cache_hits = 0;
+  std::uint64_t point_cache_misses = 0;  ///< p2p lookups that found nothing
+  std::uint64_t point_cache_inserts = 0;
+  std::uint64_t point_cache_evictions = 0;
+
+  util::Log2Histogram latency_ticks;     ///< per answered DISTANCE query
+  util::Log2Histogram analytics_latency_ticks;  ///< per answered analytics job
   util::Log2Histogram batch_occupancy;   ///< queries per dispatched batch
-  util::Log2Histogram queue_depth;       ///< sampled at every tick()
+  util::Log2Histogram queue_depth;       ///< distance queue, sampled at every tick()
 
   double wave_seconds = 0.0;    ///< rank-local time inside waves
   double fetch_seconds = 0.0;   ///< rank-local time inside answer fetches
@@ -219,7 +296,10 @@ class DistanceService {
   std::vector<Answer> drain(std::uint64_t start_tick,
                             std::uint64_t* end_tick = nullptr);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  /// Queued queries across both classes (drain() loops until this is 0).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() + analytics_queue_.size();
+  }
 
   /// Queries shed so far (either bounced arrivals or drop-oldest
   /// victims), in shed order; the caller may re-submit them later.
@@ -288,6 +368,23 @@ class DistanceService {
   /// Record a shed query, honouring the shed-log cap.
   void log_shed(const Query& q);
 
+  /// The distance micro-batch stage of tick() (batch formation through
+  /// answer completion); collective when a batch dispatches.
+  void dispatch_distance_batch(std::uint64_t now, bool flush,
+                               std::vector<Answer>& answers);
+
+  /// The analytics stage of tick(): at most one job per tick, deferred
+  /// behind distance traffic until it ages out (see the scheduler notes
+  /// in the header comment).  Collective when a job runs.
+  void run_analytics_stage(std::uint64_t now, bool flush,
+                           std::vector<Answer>& answers);
+
+  /// Exact point cache (FIFO, bounded by config_.point_cache_cap).
+  [[nodiscard]] const graph::Weight* lookup_point(graph::VertexId root,
+                                                  graph::VertexId target) const;
+  void insert_point(graph::VertexId root, graph::VertexId target,
+                    graph::Weight distance);
+
   /// The snapshot slot to pass to a wave on `key`, honouring the
   /// resume-key protection rule (see FaultContext::snapshot).
   [[nodiscard]] core::CheckpointState* snapshot_for(graph::VertexId key)
@@ -299,7 +396,19 @@ class DistanceService {
   RootCache cache_;
   std::optional<LandmarkOracle> oracle_;
   std::optional<AdaptiveBatchController> controller_;
-  std::deque<Query> queue_;
+  KernelRegistry registry_;
+  std::deque<Query> queue_;            ///< distance classes (p2p / facility)
+  std::deque<Query> analytics_queue_;  ///< kAnalytics jobs, FIFO
+  /// Memoized whole-graph kernel outcomes (the graph is immutable, so a
+  /// completed untruncated run answers every later job of that kernel);
+  /// reachability is per-pair and never memoized.
+  std::array<std::optional<AnalyticsOutcome>, kNumAnalyticsKernels> memo_;
+  /// Exact point cache: pruned-wave target values, keyed (root, target).
+  /// Deterministic FIFO residency — a pure function of the submission
+  /// sequence, like every other collective decision here.
+  std::map<std::pair<graph::VertexId, graph::VertexId>, graph::Weight>
+      point_cache_;
+  std::deque<std::pair<graph::VertexId, graph::VertexId>> point_order_;
   std::vector<Query> shed_log_;
   ServiceMetrics metrics_;
   std::uint64_t arrived_since_tick_ = 0;  ///< controller observation window

@@ -32,6 +32,34 @@ Workload::Workload(WorkloadConfig config) : config_(std::move(config)) {
   if (config_.num_vertices == 0) {
     throw std::invalid_argument("Workload: num_vertices must be positive");
   }
+  if (config_.analytics_fraction < 0.0 || config_.analytics_fraction > 1.0) {
+    throw std::invalid_argument("Workload: analytics_fraction not in [0,1]");
+  }
+  if (!config_.kernel_weights.empty() &&
+      config_.kernel_weights.size() != kNumAnalyticsKernels) {
+    throw std::invalid_argument(
+        "Workload: kernel_weights needs one entry per kernel");
+  }
+  // Kernel-draw CDF (uniform when no weights given).
+  std::vector<double> weights = config_.kernel_weights;
+  if (weights.empty()) weights.assign(kNumAnalyticsKernels, 1.0);
+  double weight_total = 0.0;
+  for (const auto w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("Workload: kernel weight must be >= 0");
+    }
+    weight_total += w;
+  }
+  if (config_.analytics_fraction > 0.0 && weight_total <= 0.0) {
+    throw std::invalid_argument("Workload: kernel weights sum to zero");
+  }
+  kernel_cdf_.reserve(weights.size());
+  double kernel_acc = 0.0;
+  for (const auto w : weights) {
+    kernel_acc += w;
+    kernel_cdf_.push_back(weight_total > 0.0 ? kernel_acc / weight_total
+                                             : 1.0);
+  }
   // Zipf CDF over the universe: p(k) proportional to 1/(k+1)^s.
   zipf_cdf_.reserve(config_.roots.size());
   double total = 0.0;
@@ -92,10 +120,27 @@ std::vector<Query> Workload::arrivals(std::uint64_t tick) const {
     if (config_.deadline_ticks != 0) {
       q.deadline_tick = tick + config_.deadline_ticks;
     }
-    q.kind = rng.next_double() < config_.nearest_fraction
-                 ? QueryKind::kNearestFacility
-                 : QueryKind::kPointToPoint;
-    if (q.kind == QueryKind::kPointToPoint) {
+    // Class draw first, but only when the analytics class is active: a
+    // fraction of 0 must not consume a variate, so distance-only traces
+    // stay identical to the pre-mix generator.
+    if (config_.analytics_fraction > 0.0 &&
+        rng.next_double() < config_.analytics_fraction) {
+      q.kind = QueryKind::kAnalytics;
+      if (config_.analytics_deadline_ticks != 0) {
+        q.deadline_tick = tick + config_.analytics_deadline_ticks;
+      }
+      const double ku = rng.next_double();
+      const auto kit =
+          std::lower_bound(kernel_cdf_.begin(), kernel_cdf_.end(), ku);
+      q.kernel = static_cast<AnalyticsKernel>(std::min<std::size_t>(
+          static_cast<std::size_t>(kit - kernel_cdf_.begin()),
+          kNumAnalyticsKernels - 1));
+    } else {
+      q.kind = rng.next_double() < config_.nearest_fraction
+                   ? QueryKind::kNearestFacility
+                   : QueryKind::kPointToPoint;
+    }
+    if (q.kind != QueryKind::kNearestFacility && !config_.roots.empty()) {
       const double u = rng.next_double();
       const auto it =
           std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);

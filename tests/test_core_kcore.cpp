@@ -1,0 +1,194 @@
+// Tests for distributed k-core decomposition: exact agreement with a
+// sequential peeling reference (coreness is unique, so any peel order must
+// produce the same values), known closed-form corenesses, and the
+// empty/disconnected edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/kcore.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/kronecker.hpp"
+#include "simmpi/comm.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+
+/// Canonical adjacency the builder produces: undirected, self-loops
+/// dropped, parallel edges deduplicated.
+std::vector<std::vector<VertexId>> canonical_adjacency(const EdgeList& list) {
+  std::vector<std::vector<VertexId>> adj(list.num_vertices);
+  for (const auto& e : list.edges) {
+    if (e.src == e.dst) continue;
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+/// Sequential cascading-peel reference: at level k, repeatedly remove
+/// every remaining vertex with residual degree <= k until the level
+/// quiesces, assigning removed vertices coreness k.
+std::vector<std::uint32_t> reference_coreness(const EdgeList& list) {
+  const auto adj = canonical_adjacency(list);
+  std::vector<std::uint64_t> deg(list.num_vertices);
+  for (VertexId v = 0; v < list.num_vertices; ++v) deg[v] = adj[v].size();
+  std::vector<std::uint32_t> core(list.num_vertices, 0);
+  std::vector<bool> alive(list.num_vertices, true);
+  VertexId remaining = list.num_vertices;
+  std::uint32_t k = 0;
+  while (remaining > 0) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (VertexId v = 0; v < list.num_vertices; ++v) {
+        if (!alive[v] || deg[v] > k) continue;
+        alive[v] = false;
+        core[v] = k;
+        --remaining;
+        removed_any = true;
+        for (const auto u : adj[v]) {
+          if (alive[u] && deg[u] > 0) --deg[u];
+        }
+      }
+    }
+    ++k;
+  }
+  return core;
+}
+
+void expect_matches_reference(const EdgeList& list, int ranks) {
+  const auto want = reference_coreness(list);
+  const std::uint32_t want_max =
+      want.empty() ? 0u : *std::max_element(want.begin(), want.end());
+  simmpi::World world(ranks);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()),
+        list.num_vertices);
+    core::KCoreStats stats;
+    const auto mine = core::kcore(comm, g, &stats);
+    const auto full = comm.allgatherv(mine);
+    ASSERT_EQ(full.size(), want.size());
+    for (VertexId v = 0; v < list.num_vertices; ++v) {
+      EXPECT_EQ(full[v], want[v]) << "vertex " << v << " ranks " << ranks;
+    }
+    EXPECT_EQ(stats.max_core, want_max);
+    // Every owned vertex gets assigned exactly once.
+    EXPECT_EQ(comm.allreduce_sum(stats.peeled), list.num_vertices);
+  });
+}
+
+class KCoreSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, KCoreSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(KCoreSweep, MatchesReferenceOnKronecker) {
+  KroneckerParams params;
+  params.scale = 9;
+  params.edgefactor = 8;
+  expect_matches_reference(kronecker_graph(params), GetParam());
+}
+
+TEST_P(KCoreSweep, MatchesReferenceOnRandomMultigraph) {
+  // Self-loops and duplicate tuples must not inflate residual degrees.
+  expect_matches_reference(random_graph(150, 700, 23), GetParam());
+}
+
+TEST_P(KCoreSweep, MatchesReferenceOnDisconnectedIslands) {
+  // A triangle, a path, and isolated dust in one vertex range.
+  EdgeList list;
+  list.num_vertices = 20;
+  list.edges = {{0, 1, 0.5f}, {1, 2, 0.5f}, {2, 0, 0.5f},
+                {10, 11, 0.5f}, {11, 12, 0.5f}, {12, 13, 0.5f}};
+  expect_matches_reference(list, GetParam());
+}
+
+TEST(KCore, CliqueHasUniformCoreness) {
+  // K_n: every vertex has coreness n - 1.
+  const VertexId n = 12;
+  const EdgeList list = complete_graph(n, 31);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()), n);
+    core::KCoreStats stats;
+    const auto mine = core::kcore(comm, g, &stats);
+    for (const auto c : mine) EXPECT_EQ(c, n - 1);
+    EXPECT_EQ(stats.max_core, n - 1);
+  });
+}
+
+TEST(KCore, PathAndStarAreOneCore) {
+  // Trees have degeneracy 1: every vertex of a path or star has
+  // coreness 1 (leaves included — they sit in the 1-core).
+  for (const auto& list : {path_graph(17, 5), star_graph(17, 5)}) {
+    simmpi::World world(2);
+    world.run([&](simmpi::Comm& comm) {
+      const DistGraph g = build_distributed(
+          comm, slice_for_rank(list, comm.rank(), comm.size()),
+          list.num_vertices);
+      core::KCoreStats stats;
+      const auto mine = core::kcore(comm, g, &stats);
+      for (const auto c : mine) EXPECT_EQ(c, 1u);
+      EXPECT_EQ(stats.max_core, 1u);
+    });
+  }
+}
+
+TEST(KCore, RingIsTwoCore) {
+  const EdgeList list = ring_graph(32, 7);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()),
+        list.num_vertices);
+    const auto mine = core::kcore(comm, g);
+    for (const auto c : mine) EXPECT_EQ(c, 2u);
+  });
+}
+
+TEST(KCore, EdgelessGraphIsZeroCore) {
+  EdgeList list;
+  list.num_vertices = 9;
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_distributed(
+        comm, slice_for_rank(list, comm.rank(), comm.size()),
+        list.num_vertices);
+    core::KCoreStats stats;
+    const auto mine = core::kcore(comm, g, &stats);
+    for (const auto c : mine) EXPECT_EQ(c, 0u);
+    EXPECT_EQ(stats.max_core, 0u);
+    EXPECT_EQ(comm.allreduce_sum(stats.decrements_sent), 0u);
+  });
+}
+
+TEST(KCore, StatsAreConsistent) {
+  KroneckerParams params;
+  params.scale = 8;
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const DistGraph g = build_kronecker(comm, params);
+    core::KCoreStats stats;
+    (void)core::kcore(comm, g, &stats);
+    // Collective counts agree across ranks (every rank checks itself
+    // against the maximum, so any straggler fails its own assertion).
+    EXPECT_EQ(stats.rounds, comm.allreduce_max(stats.rounds));
+    EXPECT_EQ(stats.max_core, comm.allreduce_max(stats.max_core));
+    // No decrement is applied that was never sent.
+    EXPECT_LE(comm.allreduce_sum(stats.decrements_applied),
+              comm.allreduce_sum(stats.decrements_sent));
+    EXPECT_GE(stats.levels, 1u);
+  });
+}
+
+}  // namespace

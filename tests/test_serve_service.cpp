@@ -555,4 +555,217 @@ TEST(ServeService, RunReportJsonCarriesTheSchema) {
   });
 }
 
+// The YCSB-style mixed workload: long analytics jobs run alongside the
+// distance reads, and the scheduler (distance micro-batch first, at most
+// one analytics job per tick) must keep the distance class inside its SLO
+// while the analytics class still completes.
+TEST(ServeService, MixedWorkloadNeverStarvesDistanceClass) {
+  const auto list = graph::random_graph(96, 384, 41);
+  simmpi::World world(4);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+
+    WorkloadConfig wl;
+    wl.seed = 13;
+    wl.ticks = 48;
+    wl.arrivals_per_tick = 2.5;
+    wl.analytics_fraction = 0.35;  // heavy mix: every third arrival is a job
+    wl.roots = {4, 17, 60};
+    wl.num_vertices = g.num_vertices;
+
+    ServeConfig config;
+    config.batch_size = 4;
+    config.max_wait_ticks = 2;
+    config.queue_depth = 256;
+    config.slo_ticks = 16;  // tight distance SLO, far below the horizon
+    config.oracle.num_landmarks = 2;  // reachability short-circuit path
+
+    const auto run = serve::run_workload(comm, g, config, Workload(wl),
+                                         /*keep_answers=*/true);
+    const auto& m = run.metrics;
+
+    // Both classes flowed: distance reads AND analytics jobs completed.
+    ASSERT_GT(m.analytics_arrived, 0u);
+    EXPECT_GT(m.analytics_answered, 0u);
+    const auto distance_answered = m.answered - m.analytics_answered;
+    ASSERT_GT(distance_answered, 0u);
+
+    // The no-starvation contract: the distance class never blows its SLO
+    // even with analytics jobs interleaved (slo_violations is
+    // distance-only by convention).
+    EXPECT_EQ(m.slo_violations, 0u);
+    EXPECT_LE(m.latency_ticks.quantile(0.99), config.slo_ticks);
+
+    // Whole-graph kernels are memoized on the immutable graph: at most
+    // one execution per kernel, everything else is a memo hit, and every
+    // answered job was either executed or served from the memo.
+    EXPECT_EQ(m.analytics_answered, m.analytics_jobs + m.analytics_memo_hits);
+    for (std::size_t k = 0; k < serve::kNumAnalyticsKernels; ++k) {
+      if (static_cast<serve::AnalyticsKernel>(k) !=
+          serve::AnalyticsKernel::kReachability) {
+        EXPECT_LE(m.kernel_jobs[k], 1u) << "kernel slot " << k;
+      }
+    }
+
+    // Determinism: repeated answers of the same whole-graph kernel carry
+    // the identical digest (memo or not), and distance answers are still
+    // bit-identical to fresh offline runs.
+    std::map<serve::AnalyticsKernel, std::uint64_t> digest_of;
+    std::map<graph::VertexId, core::SequentialResult> oracle;
+    for (const auto& a : run.answers) {
+      if (a.kind == QueryKind::kAnalytics) {
+        if (a.outcome != serve::Outcome::kServed) continue;
+        if (a.kernel == serve::AnalyticsKernel::kReachability) continue;
+        const auto [it, fresh] = digest_of.emplace(a.kernel, a.digest);
+        if (!fresh) {
+          EXPECT_EQ(a.digest, it->second) << "query " << a.id;
+        }
+        continue;
+      }
+      if (a.kind != QueryKind::kPointToPoint ||
+          a.outcome != serve::Outcome::kServed) {
+        continue;
+      }
+      if (!oracle.count(a.root)) {
+        const auto mine = core::delta_stepping(comm, g, a.root, config.sssp);
+        oracle.emplace(a.root, core::gather_result(comm, g, mine));
+      }
+      EXPECT_EQ(a.distance, oracle.at(a.root).dist[a.target])
+          << "query " << a.id;
+    }
+  });
+}
+
+// Oracle carry-over: a pruned wave's answer is exact at its target even
+// though the slice never enters the root cache.  The point cache banks
+// those values, so repeating the pair is a map lookup — same bits, no
+// second wave.
+TEST(ServeService, PointCacheServesRepeatedPrunedPair) {
+  const auto list = graph::random_graph(96, 384, 41);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.batch_size = 4;
+    config.max_wait_ticks = 1;
+    config.oracle.num_landmarks = 2;  // loose bounds => pruned p2p waves
+    DistanceService service(comm, g, config);
+
+    // A spread of pairs: at least one must fall outside the oracle's
+    // exact cases and run as a pruned wave.
+    std::vector<Answer> first;
+    std::uint64_t id = 0;
+    std::uint64_t now = 0;
+    for (const graph::VertexId root : {3, 29, 57}) {
+      for (const graph::VertexId target : {11, 44, 91}) {
+        Query q;
+        q.id = id++;
+        q.root = root;
+        q.target = target;
+        q.arrival_tick = now;
+        ASSERT_TRUE(service.submit(q));
+        for (const auto& a : service.tick(now++)) first.push_back(a);
+      }
+    }
+    while (service.pending() > 0) {
+      for (const auto& a : service.tick(now++, /*flush=*/true)) {
+        first.push_back(a);
+      }
+    }
+    std::vector<Answer> pruned;
+    for (const auto& a : first) {
+      if (a.outcome == serve::Outcome::kServed && a.pruned_wave) {
+        pruned.push_back(a);
+      }
+    }
+    ASSERT_GT(pruned.size(), 0u);
+    EXPECT_EQ(service.metrics().point_cache_inserts, pruned.size());
+    EXPECT_EQ(service.metrics().point_cache_hits, 0u);
+    const auto waves_before = service.metrics().waves;
+
+    // Replay every pruned pair: answered from the point cache with the
+    // identical distance, and not a single new wave dispatches.
+    for (const auto& p : pruned) {
+      Query q;
+      q.id = id++;
+      q.root = p.root;
+      q.target = p.target;
+      q.arrival_tick = now;
+      ASSERT_TRUE(service.submit(q));
+      bool got = false;
+      while (!got) {
+        for (const auto& a : service.tick(now++, /*flush=*/true)) {
+          ASSERT_EQ(a.root, p.root);
+          ASSERT_EQ(a.target, p.target);
+          EXPECT_TRUE(a.from_point_cache) << "pair " << p.root << "->"
+                                          << p.target;
+          EXPECT_EQ(a.outcome, serve::Outcome::kServed);
+          EXPECT_EQ(a.distance, p.distance);
+          EXPECT_EQ(a.lb, a.distance);
+          EXPECT_EQ(a.ub, a.distance);
+          got = true;
+        }
+      }
+    }
+    EXPECT_EQ(service.metrics().point_cache_hits, pruned.size());
+    EXPECT_EQ(service.metrics().waves, waves_before);
+  });
+}
+
+// The point cache is FIFO-bounded: filling it past point_cache_cap evicts
+// the oldest pair, which then misses (and re-runs its wave) while newer
+// pairs still hit.
+TEST(ServeService, PointCacheEvictsFifoAtItsCap) {
+  const auto list = graph::random_graph(96, 384, 41);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    const auto g = build_test_graph(comm, list);
+    ServeConfig config;
+    config.batch_size = 1;
+    config.max_wait_ticks = 1;
+    config.oracle.num_landmarks = 2;
+    config.point_cache_cap = 2;
+    DistanceService service(comm, g, config);
+
+    std::vector<Answer> served;
+    std::uint64_t id = 0;
+    std::uint64_t now = 0;
+    for (const graph::VertexId root : {3, 29, 57}) {
+      for (const graph::VertexId target : {11, 44, 91}) {
+        Query q;
+        q.id = id++;
+        q.root = root;
+        q.target = target;
+        q.arrival_tick = now;
+        ASSERT_TRUE(service.submit(q));
+        for (const auto& a : service.tick(now++, /*flush=*/true)) {
+          if (a.outcome == serve::Outcome::kServed && a.pruned_wave) {
+            served.push_back(a);
+          }
+        }
+      }
+    }
+    if (served.size() <= config.point_cache_cap) GTEST_SKIP();
+    EXPECT_EQ(service.metrics().point_cache_evictions,
+              served.size() - config.point_cache_cap);
+    // The oldest banked pair has been evicted: replaying it misses.
+    const auto hits_before = service.metrics().point_cache_hits;
+    Query q;
+    q.id = id++;
+    q.root = served.front().root;
+    q.target = served.front().target;
+    q.arrival_tick = now;
+    ASSERT_TRUE(service.submit(q));
+    std::vector<Answer> replay;
+    while (replay.empty()) {
+      for (const auto& a : service.tick(now++, /*flush=*/true)) {
+        replay.push_back(a);
+      }
+    }
+    EXPECT_FALSE(replay[0].from_point_cache);
+    EXPECT_EQ(replay[0].distance, served.front().distance);
+    EXPECT_EQ(service.metrics().point_cache_hits, hits_before);
+  });
+}
+
 }  // namespace
