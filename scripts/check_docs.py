@@ -11,8 +11,9 @@ Three checks:
    silently fall out of the table of contents.
 3. Schema cross-check: every report key the CI schema gate
    (scripts/check_report_schema.py) enforces must appear literally in the
-   schema documentation (docs/telemetry.md, docs/serving.md or
-   docs/async.md).  Direction: the gate is the source of truth and the
+   schema documentation (docs/telemetry.md, docs/serving.md,
+   docs/async.md or docs/dynamic.md).  Direction: the gate is the source
+   of truth and the
    docs must keep up — a key added to the gate without documentation
    fails here; documenting extra fields the gate does not enforce is
    fine.
@@ -32,7 +33,8 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 # Where the schema gate's enforced keys must be documented.
-SCHEMA_DOCS = ("docs/telemetry.md", "docs/serving.md", "docs/async.md")
+SCHEMA_DOCS = ("docs/telemetry.md", "docs/serving.md", "docs/async.md",
+               "docs/dynamic.md")
 
 
 def markdown_files(root):

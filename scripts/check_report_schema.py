@@ -73,6 +73,7 @@ SERVING_RUN_KEYS = (
     "pruned_expand",
     "pruned_apply",
     "availability",
+    "graph_version",
 )
 # The availability block every serving run carries (docs/telemetry.md):
 # per-outcome counts plus the retry/breaker audit trail.
@@ -140,6 +141,37 @@ SERVING_CLASS_KEYS = (
     "latency_ticks",
 )
 SERVING_POINT_CACHE_KEYS = ("hits", "misses", "inserts", "evictions")
+# dynamic: the streaming-mutation bench (docs/dynamic.md) — incremental
+# SSSP repair must be bit-identical to a from-scratch recompute after
+# EVERY batch, and the repaired cone must cost strictly less relaxation
+# work than the recompute on localized batches.
+DYNAMIC_KEYS = (
+    "batches",
+    "edges_applied",
+    "graph_version",
+    "compactions",
+    "repair_relax",
+    "recompute_relax",
+    "work_ratio",
+    "bit_identical",
+    "repair_ok",
+    "invalidation",
+    "point_persistence",
+)
+# The serving-invalidation counters of the dynamic bench's query phase.
+DYNAMIC_INVALIDATION_KEYS = (
+    "graph_updates",
+    "update_edges_applied",
+    "roots_invalidated",
+    "roots_retained",
+    "points_invalidated",
+    "points_retained",
+    "memo_invalidated",
+    "slices_refreshed",
+    "wholesale_flushes",
+    "version_misses",
+)
+DYNAMIC_POINT_KEYS = ("persisted", "restored")
 # breakdown.async: the gated async-vs-sync comparison (docs/async.md) —
 # distances must be bit-identical with strictly fewer global collectives.
 BREAKDOWN_ASYNC_KEYS = (
@@ -202,10 +234,43 @@ def check_report(doc, path, errors):
         errors.append(f"{path}: cases must be an array")
     if doc.get("harness") == "serving":
         check_serving(doc, path, errors)
+    if doc.get("harness") == "dynamic":
+        check_dynamic(doc, path, errors)
     if doc.get("harness") == "breakdown":
         check_breakdown_async(doc, path, errors)
     if doc.get("harness") == "replay":
         check_replay_async(doc, path, errors)
+
+
+def check_dynamic(doc, path, errors):
+    dyn = doc.get("dynamic")
+    if not isinstance(dyn, dict):
+        errors.append(f"{path}: dynamic report missing 'dynamic' section")
+        return
+    for key in DYNAMIC_KEYS:
+        if key not in dyn:
+            errors.append(f"{path}: dynamic section missing '{key}'")
+    if dyn.get("bit_identical") is not True:
+        errors.append(
+            f"{path}: incremental repair not bit_identical to recompute")
+    if dyn.get("repair_ok") is not True:
+        errors.append(f"{path}: dynamic repair gate did not pass (repair_ok)")
+    ratio = dyn.get("work_ratio")
+    if isinstance(ratio, (int, float)) and not ratio < 1:
+        errors.append(
+            f"{path}: repair work_ratio {ratio} not strictly below 1 "
+            f"(repair must beat recompute on localized batches)")
+    inval = dyn.get("invalidation")
+    if isinstance(inval, dict):
+        for key in DYNAMIC_INVALIDATION_KEYS:
+            if key not in inval:
+                errors.append(f"{path}: dynamic invalidation missing '{key}'")
+    point = dyn.get("point_persistence")
+    if isinstance(point, dict):
+        for key in DYNAMIC_POINT_KEYS:
+            if key not in point:
+                errors.append(
+                    f"{path}: dynamic point_persistence missing '{key}'")
 
 
 def check_breakdown_async(doc, path, errors):

@@ -35,7 +35,8 @@ class Engine {
  public:
   Engine(simmpi::Comm& comm, const graph::DistGraph& g,
          const std::vector<VertexId>& roots, const SsspConfig& config,
-         SsspStats& stats, CheckpointState* ckpt = nullptr)
+         SsspStats& stats, CheckpointState* ckpt = nullptr,
+         const WarmStart* warm = nullptr)
       : comm_(comm),
         ckpt_(ckpt),
         g_(g),
@@ -85,6 +86,36 @@ class Engine {
     const bool local_pull_ok =
         g.pull.num_entries() > 0 || g.csr.num_edges() == 0;
     pull_available_ = config.direction_opt && !comm.allreduce_or(!local_pull_ok);
+    if (warm != nullptr) {
+      // Repair mode: adopt the caller's labels and queue only its seeds.
+      // Checkpointing is mutually exclusive — a crashed repair is re-run
+      // from the (caller-held) pre-update labels, not resumed mid-wave.
+      if (ckpt_ != nullptr) {
+        throw std::invalid_argument(
+            "delta_stepping: warm start and checkpointing are exclusive");
+      }
+      if (warm->dist.size() != local_n_ || warm->parent.size() != local_n_) {
+        throw std::invalid_argument(
+            "delta_stepping: warm-start slices do not match the owned range");
+      }
+      dist_ = warm->dist;
+      parent_ = warm->parent;
+      for (const auto root : roots) {
+        if (g_.part.owner(root) == comm_.rank() &&
+            dist_[g_.part.local(root)] != 0.0f) {
+          throw std::invalid_argument(
+              "delta_stepping: warm-start root distance must be 0");
+        }
+      }
+      for (const auto v : warm->seeds) {
+        if (v >= local_n_ || dist_[v] == kInfDistance) {
+          throw std::invalid_argument(
+              "delta_stepping: warm-start seed invalid or unreachable");
+        }
+        queue_.update(v, bucket_of(dist_[v]));
+      }
+      return;
+    }
     for (const auto root : roots) {
       if (g_.part.owner(root) == comm_.rank()) {
         const auto lr = g_.part.local(root);
@@ -527,6 +558,20 @@ SsspResult delta_stepping_multi(simmpi::Comm& comm, const graph::DistGraph& g,
   SsspStats local_stats;
   Engine engine(comm, g, roots, config,
                 stats != nullptr ? *stats : local_stats);
+  return engine.run();
+}
+
+SsspResult delta_stepping_repair(simmpi::Comm& comm,
+                                 const graph::DistGraph& g, VertexId root,
+                                 const WarmStart& warm,
+                                 const SsspConfig& config, SsspStats* stats) {
+  if (config.checkpoint_interval != 0 || config.deadline_buckets != 0) {
+    throw std::invalid_argument(
+        "delta_stepping_repair: checkpoint/deadline features are rejected");
+  }
+  SsspStats local_stats;
+  Engine engine(comm, g, {root}, config,
+                stats != nullptr ? *stats : local_stats, nullptr, &warm);
   return engine.run();
 }
 

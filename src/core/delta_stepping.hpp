@@ -48,6 +48,31 @@ namespace g500::core {
     const std::vector<graph::VertexId>& roots, const SsspConfig& config = {},
     SsspStats* stats = nullptr);
 
+/// Warm-start labels for an incremental repair run (delta_stepping_repair).
+/// `dist`/`parent` are the owned slices of tentative labels to start from;
+/// every finite label must be an attainable path sum from the root in the
+/// *current* graph (or kInfDistance).  `seeds` lists the owned local ids to
+/// queue initially (at bucket_of(dist)); only finite-distance vertices may
+/// be seeded.  Relaxation from such a state converges to the same unique
+/// fixed point as a fresh run, so the repaired distances are bit-identical
+/// to a from-scratch recompute (parents may differ — both are valid trees).
+struct WarmStart {
+  std::vector<graph::Weight> dist;
+  std::vector<graph::VertexId> parent;
+  std::vector<graph::LocalId> seeds;
+};
+
+/// Resume relaxation from `warm` instead of seeding the root: the engine
+/// queues only `warm.seeds` and runs the normal bucket schedule to
+/// quiescence.  Used by dyn::incremental_sssp_repair to re-relax only the
+/// affected cone after a graph mutation.  The root must carry distance 0 in
+/// `warm.dist`.  Checkpoint/deadline features are rejected (repair is
+/// re-run wholesale after a failure instead of resumed).
+[[nodiscard]] SsspResult delta_stepping_repair(
+    simmpi::Comm& comm, const graph::DistGraph& g, graph::VertexId root,
+    const WarmStart& warm, const SsspConfig& config = {},
+    SsspStats* stats = nullptr);
+
 /// Checkpointed variant of delta_stepping: when `ckpt` is non-null and
 /// config.checkpoint_interval > 0, the engine snapshots its state into
 /// `ckpt` every interval bucket epochs, and — if `ckpt` already holds a

@@ -1,0 +1,30 @@
+#include "dyn/json.hpp"
+
+namespace g500::dyn {
+
+util::Json to_json(const DynStats& stats) {
+  util::Json j = util::Json::object();
+  j["batches"] = stats.batches;
+  j["updates_staged"] = stats.updates_staged;
+  j["edges_applied"] = stats.edges_applied;
+  j["inserted"] = stats.inserted;
+  j["removed"] = stats.removed;
+  j["reweighted"] = stats.reweighted;
+  j["self_loops_dropped"] = stats.self_loops_dropped;
+  j["compactions"] = stats.compactions;
+  return j;
+}
+
+util::Json to_json(const RepairStats& stats) {
+  util::Json j = util::Json::object();
+  j["suspects"] = stats.suspects;
+  j["invalidated"] = stats.invalidated;
+  j["seeds"] = stats.seeds;
+  j["invalidation_rounds"] = stats.invalidation_rounds;
+  j["relax_generated"] = stats.sssp.relax_generated;
+  j["relax_applied"] = stats.sssp.relax_applied;
+  j["buckets_processed"] = stats.sssp.buckets_processed;
+  return j;
+}
+
+}  // namespace g500::dyn

@@ -1,0 +1,16 @@
+// JSON serialization of the dynamic-graph telemetry (docs/dynamic.md).
+#pragma once
+
+#include "dyn/mutable_graph.hpp"
+#include "dyn/repair.hpp"
+#include "util/json.hpp"
+
+namespace g500::dyn {
+
+/// MutableGraph lifetime counters -> telemetry object.
+[[nodiscard]] util::Json to_json(const DynStats& stats);
+
+/// One repair's cone accounting -> telemetry object.
+[[nodiscard]] util::Json to_json(const RepairStats& stats);
+
+}  // namespace g500::dyn

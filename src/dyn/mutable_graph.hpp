@@ -1,0 +1,183 @@
+// Streaming mutations over the distributed CSR.
+//
+// Production graph services mutate under live traffic, but the engine (and
+// every structure derived from the graph — hub lists, pull index, oracle
+// slices, caches) assumes a frozen DistGraph.  MutableGraph bridges the
+// two with a batched delta log:
+//
+//   * stage() buffers edge updates locally (the delta log);
+//   * commit_batch() is a collective that routes both directions of every
+//     staged update to the owning ranks (exactly like the builder), merges
+//     conflicting ops deterministically, consults the per-vertex overlay
+//     alongside the CSR adjacency to apply them, rebuilds the rank-local
+//     view (CSR + pull index) from the merged adjacency, and agrees a new
+//     monotonically increasing graph_version by allreduce;
+//   * periodic compaction folds everything back through the distributed
+//     builder (graph::build_distributed), refreshing the hub list and
+//     degree statistics that per-commit view rebuilds leave stale.
+//
+// The committed view is a real DistGraph, so every existing kernel runs
+// over it unchanged; commit summaries carry exactly the seed/suspect sets
+// dyn::incremental_sssp_repair needs to re-relax only the affected cone.
+//
+// Batch-merge rule (deterministic regardless of which rank staged what):
+// ops on the same undirected edge within one commit merge by precedence
+// kDelete > kSet > kInsert, ties resolved to the minimum weight of the
+// winning class.  Inserting an edge that already exists keeps the minimum
+// of the old and new weight (the builder's parallel-edge dedup rule);
+// kSet overwrites the weight exactly (the only way to *increase* one);
+// self-loops are dropped, as in the builder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+
+namespace g500::dyn {
+
+enum class UpdateOp : std::uint8_t { kInsert = 0, kSet = 1, kDelete = 2 };
+
+/// One staged undirected edge update (weight is ignored for kDelete).
+struct EdgeUpdate {
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  graph::Weight weight = 0.0f;
+  UpdateOp op = UpdateOp::kInsert;
+};
+
+/// One undirected edge the last commit effectively changed, canonical
+/// (u < v); the list is identical on every rank (allgathered) so the
+/// serving layer can evaluate invalidation brackets collectively.
+struct AppliedEdge {
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  graph::Weight old_weight = 0.0f;  ///< meaningful iff had_old
+  graph::Weight new_weight = 0.0f;  ///< meaningful iff !removed
+  std::uint8_t had_old = 0;         ///< edge existed before the commit
+  std::uint8_t removed = 0;         ///< edge is gone after the commit
+  std::uint8_t pad0 = 0;
+  std::uint8_t pad1 = 0;
+};
+
+/// A removed or weight-increased directed copy stored on this rank.  The
+/// repair layer tests `parent[local(src)] == dst` against a pre-update
+/// SSSP tree to find vertices whose label may no longer be attainable.
+struct SuspectEdge {
+  graph::VertexId src = 0;  ///< owned by this rank
+  graph::VertexId dst = 0;
+  graph::Weight old_weight = 0.0f;
+};
+
+/// What one commit_batch() did.  Global fields are identical on every
+/// rank; decrease_seeds/suspects are this rank's owned share.
+struct CommitSummary {
+  std::uint64_t graph_version = 0;
+  std::uint64_t staged_global = 0;       ///< updates staged, all ranks
+  std::uint64_t self_loops_dropped = 0;  ///< global
+  std::uint64_t inserted = 0;            ///< global, undirected
+  std::uint64_t removed = 0;             ///< global, undirected
+  std::uint64_t reweighted = 0;          ///< global, undirected
+  bool compacted = false;
+
+  /// Effective undirected changes, canonical u < v, sorted; identical on
+  /// every rank.
+  std::vector<AppliedEdge> applied;
+  /// Sorted distinct endpoints of `applied`; identical on every rank.
+  std::vector<graph::VertexId> affected_vertices;
+  /// Owned sources of inserted/decreased directed copies — warm-start
+  /// seeds for incremental repair (this rank only, deduplicated).
+  std::vector<graph::LocalId> decrease_seeds;
+  /// Removed/increased directed copies stored here (this rank only).
+  std::vector<SuspectEdge> suspects;
+
+  [[nodiscard]] std::uint64_t edges_applied() const noexcept {
+    return applied.size();
+  }
+};
+
+/// Lifetime counters of one MutableGraph (global unless noted).
+struct DynStats {
+  std::uint64_t batches = 0;
+  std::uint64_t updates_staged = 0;  ///< this rank
+  std::uint64_t edges_applied = 0;   ///< undirected effective changes
+  std::uint64_t inserted = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t reweighted = 0;
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t compactions = 0;
+};
+
+class MutableGraph {
+ public:
+  struct Config {
+    /// Compact every N commits (0 = only on explicit compact()).
+    std::uint64_t compact_every = 0;
+    /// Compact when applied-but-uncompacted directed changes exceed this
+    /// fraction of the directed edge count (0 = disabled).
+    double compact_overlay_ratio = 0.0;
+    /// Build options for the compaction rebuild.
+    graph::BuildOptions build;
+  };
+
+  /// Adopt `base` as version 0.  SPMD: every rank passes its own piece;
+  /// `config` must be identical on every rank (the compaction decision is
+  /// derived from it on all ranks in lockstep).
+  MutableGraph(simmpi::Comm& comm, graph::DistGraph base, Config config);
+  MutableGraph(simmpi::Comm& comm, graph::DistGraph base);
+
+  /// The current committed graph.  The reference is stable across commits
+  /// and compactions (the contents are replaced in place), so engines and
+  /// services can hold it for the MutableGraph's lifetime.
+  [[nodiscard]] const graph::DistGraph& view() const noexcept { return view_; }
+
+  /// Monotonically increasing version, bumped (allreduce-agreed) by every
+  /// commit_batch().  Version 0 is the adopted base.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  [[nodiscard]] const DynStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return staged_.size(); }
+  /// Directed changes applied since the last compaction (this rank).
+  [[nodiscard]] std::uint64_t overlay_edges() const noexcept {
+    return overlay_directed_;
+  }
+
+  /// Buffer one update locally (any rank may stage any edge).  Throws
+  /// std::out_of_range on an endpoint >= num_vertices, like the builder.
+  void stage(const EdgeUpdate& update);
+  void stage_insert(graph::VertexId u, graph::VertexId v, graph::Weight w);
+  void stage_set(graph::VertexId u, graph::VertexId v, graph::Weight w);
+  void stage_delete(graph::VertexId u, graph::VertexId v);
+
+  /// Collective: apply every staged update (on all ranks), rebuild the
+  /// local view, bump the version, and maybe compact.  Every rank must
+  /// call it, even with nothing staged.
+  CommitSummary commit_batch();
+
+  /// Collective: fold the applied overlay back through the distributed
+  /// builder, refreshing hubs, degree statistics and storage balance.
+  void compact();
+
+ private:
+  void rebuild_view();
+  [[nodiscard]] bool should_compact();
+
+  simmpi::Comm& comm_;
+  Config config_;
+  graph::DistGraph view_;
+  std::uint64_t version_ = 0;
+  std::uint64_t commits_since_compact_ = 0;
+  std::uint64_t overlay_directed_ = 0;
+
+  /// Authoritative effective adjacency of owned vertices (dst -> weight);
+  /// the overlay consulted alongside the CSR when applying a batch, and
+  /// the source the view CSR is rebuilt from.
+  std::vector<std::map<graph::VertexId, graph::Weight>> adj_;
+
+  std::vector<EdgeUpdate> staged_;
+  DynStats stats_;
+};
+
+}  // namespace g500::dyn

@@ -8,10 +8,22 @@ RootCache::RootCache(std::size_t budget_bytes, std::size_t entry_bytes)
   stats_.capacity_entries = capacity_;
 }
 
-RootCache::Slice RootCache::lookup(graph::VertexId key) {
+RootCache::Slice RootCache::lookup(graph::VertexId key,
+                                   std::uint64_t version) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->version != version) {
+    // Fail closed: a slice solved on another graph version must never
+    // answer a query — drop it and report a miss.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.misses;
+    ++stats_.version_misses;
+    stats_.resident_entries = lru_.size();
+    stats_.resident_bytes = lru_.size() * entry_bytes_;
     return nullptr;
   }
   ++stats_.hits;
@@ -23,7 +35,8 @@ bool RootCache::contains(graph::VertexId key) const {
   return index_.find(key) != index_.end();
 }
 
-void RootCache::insert(graph::VertexId key, Slice slice) {
+void RootCache::insert(graph::VertexId key, Slice slice,
+                       std::uint64_t version) {
   if (capacity_ == 0) {
     ++stats_.rejected;
     return;
@@ -31,6 +44,7 @@ void RootCache::insert(graph::VertexId key, Slice slice) {
   if (const auto it = index_.find(key); it != index_.end()) {
     // Replace in place (a re-computed root refreshes its entry).
     it->second->slice = std::move(slice);
+    it->second->version = version;
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.inserts;
     return;
@@ -40,16 +54,41 @@ void RootCache::insert(graph::VertexId key, Slice slice) {
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(Entry{key, std::move(slice)});
+  lru_.push_front(Entry{key, std::move(slice), version});
   index_[key] = lru_.begin();
   ++stats_.inserts;
   stats_.resident_entries = lru_.size();
   stats_.resident_bytes = lru_.size() * entry_bytes_;
 }
 
-void RootCache::insert(graph::VertexId key, std::vector<graph::Weight> slice) {
-  insert(key, std::make_shared<const std::vector<graph::Weight>>(
-                  std::move(slice)));
+void RootCache::insert(graph::VertexId key, std::vector<graph::Weight> slice,
+                       std::uint64_t version) {
+  insert(key,
+         std::make_shared<const std::vector<graph::Weight>>(std::move(slice)),
+         version);
+}
+
+std::vector<graph::VertexId> RootCache::keys() const {
+  std::vector<graph::VertexId> out;
+  out.reserve(lru_.size());
+  for (const auto& entry : lru_) out.push_back(entry.key);
+  return out;
+}
+
+bool RootCache::erase(graph::VertexId key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  stats_.resident_entries = lru_.size();
+  stats_.resident_bytes = lru_.size() * entry_bytes_;
+  return true;
+}
+
+void RootCache::restamp(graph::VertexId key, std::uint64_t version) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->version = version;
+  }
 }
 
 void RootCache::clear() {

@@ -34,6 +34,10 @@ struct CacheStats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   std::uint64_t rejected = 0;   ///< inserts refused because capacity is 0
+  /// Lookups that found an entry stamped with a different graph version;
+  /// the entry is dropped and the lookup fails closed as a miss (also
+  /// counted in `misses`).
+  std::uint64_t version_misses = 0;
   std::size_t resident_entries = 0;
   std::size_t resident_bytes = 0;  ///< charged, not actual, bytes
   std::size_t capacity_entries = 0;
@@ -59,17 +63,36 @@ class RootCache {
   RootCache(std::size_t budget_bytes, std::size_t entry_bytes);
 
   /// Lookup that counts a hit or miss and refreshes LRU order on hit.
-  [[nodiscard]] Slice lookup(graph::VertexId key);
+  /// An entry stamped with a graph version other than `version` FAILS
+  /// CLOSED: it is evicted, the lookup counts a miss (and a
+  /// version_miss), and nullptr is returned — a stale slice must never
+  /// answer a query against a mutated graph.
+  [[nodiscard]] Slice lookup(graph::VertexId key, std::uint64_t version = 0);
 
   /// Lookup without touching LRU order or the counters.
   [[nodiscard]] bool contains(graph::VertexId key) const;
 
-  /// Insert (or replace) the slice for `key`, evicting least-recently-used
-  /// entries until the charged footprint fits the budget.  With capacity
-  /// 0 the insert is refused (counted in stats().rejected).  Shared
-  /// ownership: callers may keep their reference across later evictions.
-  void insert(graph::VertexId key, Slice slice);
-  void insert(graph::VertexId key, std::vector<graph::Weight> slice);
+  /// Insert (or replace) the slice for `key`, stamped with `version`,
+  /// evicting least-recently-used entries until the charged footprint
+  /// fits the budget.  With capacity 0 the insert is refused (counted in
+  /// stats().rejected).  Shared ownership: callers may keep their
+  /// reference across later evictions.
+  void insert(graph::VertexId key, Slice slice, std::uint64_t version = 0);
+  void insert(graph::VertexId key, std::vector<graph::Weight> slice,
+              std::uint64_t version = 0);
+
+  /// Resident keys in LRU order (front = most recent) — the iteration
+  /// surface for scoped invalidation.  Deterministic across ranks by the
+  /// SPMD discipline above.
+  [[nodiscard]] std::vector<graph::VertexId> keys() const;
+
+  /// Drop one entry (no eviction counter: invalidation is accounted by
+  /// the caller).  Returns true when the key was resident.
+  bool erase(graph::VertexId key);
+
+  /// Re-stamp a retained entry to a newer graph version (scoped
+  /// invalidation proved its slice still exact).  No-op when absent.
+  void restamp(graph::VertexId key, std::uint64_t version);
 
   void clear();
 
@@ -81,6 +104,7 @@ class RootCache {
   struct Entry {
     graph::VertexId key;
     Slice slice;
+    std::uint64_t version = 0;  ///< graph version the slice was solved on
   };
 
   std::size_t capacity_;  ///< max resident entries

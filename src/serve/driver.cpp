@@ -56,6 +56,7 @@ ServingRunReport run_workload(simmpi::Comm& comm, const graph::DistGraph& g,
   }
   report.wall_seconds = comm.allreduce_max(timer.seconds());
   report.ticks_run = end_tick;
+  report.graph_version = service->graph_version();
   report.metrics = service->metrics();
   // Global work totals (the per-rank metrics only hold this rank's share).
   // The byte delta is read before these reductions so they don't count
@@ -115,6 +116,7 @@ ServingRunReport run_workload_resilient(
   std::uint64_t next_resume_tick = 0;  ///< rank-0 written, per harvested tick
   std::uint64_t end_tick = horizon;    ///< rank-0 written on a clean finish
   bool oracle_restored = false;        ///< rank-0 written after construction
+  std::uint64_t final_version = config.graph_version;  ///< rank-0 written
 
   // Query fate across attempts, indexed by the trace's global ids.  The
   // shed marks come from the shed log, so records dropped at the
@@ -198,7 +200,16 @@ ServingRunReport run_workload_resilient(
           harvest(t, service.tick(t, /*flush=*/true));
           ++t;
         }
-        if (comm.rank() == 0) end_tick = t;
+        // The run completed cleanly: persist the exact point cache next
+        // to the oracle slices so the next run over this graph adopts
+        // both (each rank writes only its own slot, after the last
+        // collective, so a crash can never tear it).
+        service.persist_point_cache((*stores)[rank]);
+        slots[rank].metrics = service.metrics();  // pick up the persist count
+        if (comm.rank() == 0) {
+          end_tick = t;
+          final_version = service.graph_version();
+        }
       });
       finished = true;
     } catch (const core::CheckpointError&) {
@@ -273,6 +284,7 @@ ServingRunReport run_workload_resilient(
   // ---- finalize ------------------------------------------------------
   report.metrics = accum[0];
   report.ticks_run = finished ? end_tick : resume_tick;
+  report.graph_version = final_version;
   report.wall_seconds =
       *std::max_element(accum_wall.begin(), accum_wall.end());
   report.wire_bytes = world.aggregate_stats().total_bytes() - bytes_before;

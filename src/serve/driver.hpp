@@ -23,6 +23,9 @@ struct ServingRunReport {
   std::vector<Answer> answers;  ///< kept only when requested
   std::uint64_t ticks_run = 0;  ///< arrival horizon plus the drain tail
   double wall_seconds = 0.0;    ///< serving loop only (graph build excluded)
+  /// Graph version the service ended the run on (every answer carries the
+  /// version it was computed against; this is the final one).
+  std::uint64_t graph_version = 0;
 
   /// How every query of the workload ultimately ended plus the
   /// retry/breaker audit trail.  run_workload fills the outcome counters

@@ -43,16 +43,26 @@ namespace g500::serve {
 /// ("next to" that rank's CheckpointState in the driver's stable
 /// storage).  The blob is written by LandmarkOracle::save and adopted by
 /// the constructor when its digest gate passes; any mismatch (format
-/// version, graph shape, landmark config, engine knobs, bit rot) falls
-/// back to a full recompute.
+/// version, graph shape, graph version, landmark config, engine knobs,
+/// bit rot) falls back to a full recompute.
 struct OracleSliceStore {
-  /// Layout version of `blob`; bumped on any incompatible change.
-  static constexpr std::uint64_t kFormatVersion = 1;
+  /// Layout version of both blobs; bumped on any incompatible change.
+  /// v2: the identity digest pins the graph_version, so slices persisted
+  /// before a streaming mutation can never be adopted after one.
+  static constexpr std::uint64_t kFormatVersion = 2;
 
   std::vector<std::uint8_t> blob;
 
+  /// The exact point cache persisted alongside the slices (written by
+  /// DistanceService::persist_point_cache, adopted by the service
+  /// constructor behind its own digest gate).  Empty = nothing persisted.
+  std::vector<std::uint8_t> point_blob;
+
   [[nodiscard]] bool valid() const noexcept { return !blob.empty(); }
-  void clear() noexcept { blob.clear(); }
+  void clear() noexcept {
+    blob.clear();
+    point_blob.clear();
+  }
 };
 
 enum class BreakerState : std::uint8_t {

@@ -81,6 +81,7 @@ util::Json to_json(const ServeConfig& config) {
   analytics["pagerank"] = std::move(pagerank);
   j["analytics"] = std::move(analytics);
   j["point_cache_cap"] = static_cast<std::uint64_t>(config.point_cache_cap);
+  j["graph_version"] = config.graph_version;
   return j;
 }
 
@@ -131,6 +132,7 @@ util::Json to_json(const CacheStats& stats) {
   j["inserts"] = stats.inserts;
   j["evictions"] = stats.evictions;
   j["rejected"] = stats.rejected;
+  j["version_misses"] = stats.version_misses;
   j["resident_entries"] = static_cast<std::uint64_t>(stats.resident_entries);
   j["resident_bytes"] = static_cast<std::uint64_t>(stats.resident_bytes);
   j["capacity_entries"] = static_cast<std::uint64_t>(stats.capacity_entries);
@@ -227,7 +229,21 @@ util::Json to_json(const ServiceMetrics& metrics) {
   point["misses"] = metrics.point_cache_misses;
   point["inserts"] = metrics.point_cache_inserts;
   point["evictions"] = metrics.point_cache_evictions;
+  point["persisted"] = metrics.point_persisted;
+  point["restored"] = metrics.point_restored;
   j["point_cache"] = std::move(point);
+  util::Json inval = util::Json::object();
+  inval["graph_updates"] = metrics.graph_updates;
+  inval["update_edges_applied"] = metrics.update_edges_applied;
+  inval["roots_invalidated"] = metrics.roots_invalidated;
+  inval["roots_retained"] = metrics.roots_retained;
+  inval["points_invalidated"] = metrics.points_invalidated;
+  inval["points_retained"] = metrics.points_retained;
+  inval["memo_invalidated"] = metrics.memo_invalidated;
+  inval["slices_refreshed"] = metrics.slices_refreshed;
+  inval["wholesale_flushes"] = metrics.wholesale_flushes;
+  inval["version_misses"] = metrics.cache.version_misses;
+  j["invalidation"] = std::move(inval);
   return j;
 }
 
@@ -236,6 +252,7 @@ util::Json to_json(const ServingRunReport& report) {
   j["schema_version"] = kServingSchemaVersion;
   j["ticks_run"] = report.ticks_run;
   j["wall_seconds"] = report.wall_seconds;
+  j["graph_version"] = report.graph_version;
   j["throughput_qps"] = report.throughput_qps();
   j["wire_bytes"] = report.wire_bytes;
   j["relax_generated"] = report.relax_generated;

@@ -129,7 +129,28 @@ std::uint64_t LandmarkOracle::identity_digest() const {
   h = util::hash64(h, flags,
                    static_cast<std::uint64_t>(
                        static_cast<std::int64_t>(sssp_.hierarchical_group)));
+  // Streaming mutations bump the graph version; slices solved on an older
+  // version answer a different graph and must never pass the adopt gate.
+  h = util::hash64(h, config_.graph_version);
   return h;
+}
+
+std::uint64_t LandmarkOracle::refresh_slices(
+    const std::vector<std::size_t>& flagged, std::uint64_t new_version) {
+  std::vector<std::size_t> order(flagged);
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+  std::uint64_t waves = 0;
+  for (const auto k : order) {
+    if (k >= landmarks_.size()) {
+      throw std::out_of_range("refresh_slices: landmark index out of range");
+    }
+    auto wave = core::delta_stepping_multi(comm_, g_, {landmarks_[k]}, sssp_);
+    slices_[k] = std::move(wave.dist);
+    ++waves;
+  }
+  config_.graph_version = new_version;
+  return waves;
 }
 
 void LandmarkOracle::save(OracleSliceStore& store) const {

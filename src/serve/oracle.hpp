@@ -52,6 +52,11 @@ struct OracleConfig {
   /// worst-case accumulation at any materializable diameter while costing
   /// a negligible slice of pruning power.
   double prune_slack = 1.0 / 256.0;
+
+  /// Graph version the slices are solved on.  Part of the persistence
+  /// identity digest, so slices persisted before a streaming mutation can
+  /// never be adopted after one.
+  std::uint64_t graph_version = 0;
 };
 
 class LandmarkOracle {
@@ -133,6 +138,21 @@ class LandmarkOracle {
   /// blob, identity digest, trailing checksum).  Called automatically by
   /// the constructor when it was given a slot; exposed for tests.
   void save(OracleSliceStore& store) const;
+
+  /// Graph version the slices are currently solved on.
+  [[nodiscard]] std::uint64_t graph_version() const noexcept {
+    return config_.graph_version;
+  }
+
+  /// Collective: re-solve the slices whose index appears in `flagged`
+  /// (one multi-source wave each, sorted-unique order) against the
+  /// mutated graph the oracle's DistGraph reference now views, and stamp
+  /// the oracle to `new_version`.  Unflagged slices are kept verbatim —
+  /// the caller certifies their rows were unaffected by the mutation.
+  /// Returns the number of waves run.  Every rank must pass identical
+  /// arguments.
+  std::uint64_t refresh_slices(const std::vector<std::size_t>& flagged,
+                               std::uint64_t new_version);
 
  private:
   /// Digest pinning what a stored blob must have been computed from:

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "core/remote.hpp"
+#include "util/random.hpp"
 #include "util/timer.hpp"
 
 namespace g500::serve {
@@ -57,6 +59,10 @@ DistanceService::DistanceService(simmpi::Comm& comm,
   config_.sssp.prune_budget = graph::kInfDistance;
   config_.sssp.deadline_buckets = 0;
   config_.sssp.checkpoint_interval = 0;
+  graph_version_ = config_.graph_version;
+  // The oracle's persistence digest pins the graph version: slices saved
+  // before a streaming mutation can never be adopted after one.
+  config_.oracle.graph_version = config_.graph_version;
   if (config_.oracle.num_landmarks > 0) {
     oracle_.emplace(comm_, g_, config_.oracle, config_.sssp,
                     fault_ != nullptr ? fault_->oracle_store : nullptr);
@@ -66,6 +72,17 @@ DistanceService::DistanceService(simmpi::Comm& comm,
                         config_.max_wait_ticks);
   }
   if (fault_ != nullptr) breaker_ = fault_->breaker;
+  if (fault_ != nullptr && fault_->oracle_store != nullptr) {
+    // Exact point-cache adoption, all-or-nothing across ranks for the
+    // same reason as the oracle's (residency feeds collective decisions).
+    const bool mine = try_adopt_points(*fault_->oracle_store);
+    if (comm_.allreduce_or(!mine)) {
+      point_cache_.clear();
+      point_order_.clear();
+    } else {
+      metrics_.point_restored = point_cache_.size();
+    }
+  }
 }
 
 bool DistanceService::submit(const Query& q) {
@@ -222,7 +239,7 @@ RootCache::Slice DistanceService::dispatch_wave(graph::VertexId key,
   }
   // Shared ownership keeps the slice alive for this batch's extraction
   // even if a later insert evicts the entry again.
-  if (cacheable) cache_.insert(key, slice);
+  if (cacheable) cache_.insert(key, slice, graph_version_);
   return slice;
 }
 
@@ -271,6 +288,17 @@ void ServiceMetrics::merge(const ServiceMetrics& other) {
   point_cache_misses += other.point_cache_misses;
   point_cache_inserts += other.point_cache_inserts;
   point_cache_evictions += other.point_cache_evictions;
+  point_persisted += other.point_persisted;
+  point_restored += other.point_restored;
+  graph_updates += other.graph_updates;
+  update_edges_applied += other.update_edges_applied;
+  roots_invalidated += other.roots_invalidated;
+  roots_retained += other.roots_retained;
+  points_invalidated += other.points_invalidated;
+  points_retained += other.points_retained;
+  memo_invalidated += other.memo_invalidated;
+  slices_refreshed += other.slices_refreshed;
+  wholesale_flushes += other.wholesale_flushes;
   latency_ticks.merge(other.latency_ticks);
   analytics_latency_ticks.merge(other.analytics_latency_ticks);
   batch_occupancy.merge(other.batch_occupancy);
@@ -290,6 +318,7 @@ void ServiceMetrics::merge(const ServiceMetrics& other) {
   cache.inserts += other.cache.inserts;
   cache.evictions += other.cache.evictions;
   cache.rejected += other.cache.rejected;
+  cache.version_misses += other.cache.version_misses;
   cache.resident_entries = other.cache.resident_entries;
   cache.resident_bytes = other.cache.resident_bytes;
   cache.capacity_entries = other.cache.capacity_entries;
@@ -366,6 +395,8 @@ std::vector<Answer> DistanceService::tick(std::uint64_t now, bool flush) {
   // at most one analytics job.
   dispatch_distance_batch(now, flush, answers);
   run_analytics_stage(now, flush, answers);
+  // Every answer this tick was computed against the live graph version.
+  for (auto& a : answers) a.graph_version = graph_version_;
   return answers;
 }
 
@@ -519,7 +550,7 @@ void DistanceService::dispatch_distance_batch(std::uint64_t now, bool flush,
     bool from_cache = false;
     bool group_pruned = false;
     RootCache::Slice slice;
-    if (auto hit = cache_.lookup(key)) {
+    if (auto hit = cache_.lookup(key, graph_version_)) {
       from_cache = true;
       slice = hit;
     } else if (is_abandoned(key) || breaker_.state == BreakerState::kOpen ||
@@ -738,11 +769,21 @@ void DistanceService::run_analytics_stage(std::uint64_t now, bool flush,
   answers.push_back(a);
 }
 
-const graph::Weight* DistanceService::lookup_point(
-    graph::VertexId root, graph::VertexId target) const {
+const graph::Weight* DistanceService::lookup_point(graph::VertexId root,
+                                                   graph::VertexId target) {
   if (config_.point_cache_cap == 0) return nullptr;
   const auto it = point_cache_.find({root, target});
-  return it != point_cache_.end() ? &it->second : nullptr;
+  if (it == point_cache_.end()) return nullptr;
+  if (it->second.version != graph_version_) {
+    // Fail closed: a value solved on another graph version must never
+    // answer (scoped invalidation restamps survivors, so this only fires
+    // when an entry slipped past it — drop and miss).
+    point_order_.erase(std::find(point_order_.begin(), point_order_.end(),
+                                 it->first));
+    point_cache_.erase(it);
+    return nullptr;
+  }
+  return &it->second.distance;
 }
 
 void DistanceService::insert_point(graph::VertexId root,
@@ -750,7 +791,10 @@ void DistanceService::insert_point(graph::VertexId root,
                                    graph::Weight distance) {
   if (config_.point_cache_cap == 0) return;
   const std::pair<graph::VertexId, graph::VertexId> key{root, target};
-  if (!point_cache_.emplace(key, distance).second) return;  // resident
+  if (!point_cache_.emplace(key, PointEntry{distance, graph_version_})
+           .second) {
+    return;  // resident
+  }
   ++metrics_.point_cache_inserts;
   point_order_.push_back(key);
   if (point_order_.size() > config_.point_cache_cap) {
@@ -758,6 +802,294 @@ void DistanceService::insert_point(graph::VertexId root,
     point_order_.pop_front();
     ++metrics_.point_cache_evictions;
   }
+}
+
+void DistanceService::note_graph_update(const dyn::CommitSummary& commit) {
+  ++metrics_.graph_updates;
+  metrics_.update_edges_applied += commit.edges_applied();
+  const std::uint64_t new_version = commit.graph_version;
+
+  if (commit.applied.empty()) {
+    // Version-only bump (every staged op merged to a no-op): nothing in
+    // the graph changed, so every artifact stays exact — restamp.
+    for (const auto key : cache_.keys()) cache_.restamp(key, new_version);
+    for (auto& [key, entry] : point_cache_) {
+      (void)key;
+      entry.version = new_version;
+    }
+    if (oracle_) (void)oracle_->refresh_slices({}, new_version);
+    graph_version_ = new_version;
+    return;
+  }
+
+  if (!oracle_) {
+    // No landmark brackets to scope the blast radius with: flush.
+    ++metrics_.wholesale_flushes;
+    metrics_.roots_invalidated += cache_.stats().resident_entries;
+    cache_.clear();
+    metrics_.points_invalidated += point_cache_.size();
+    point_cache_.clear();
+    point_order_.clear();
+    for (auto& slot : memo_) {
+      if (slot) {
+        ++metrics_.memo_invalidated;
+        slot.reset();
+      }
+    }
+    graph_version_ = new_version;
+    return;
+  }
+
+  // ---- scoped invalidation -------------------------------------------
+  // One collective row fetch on the OLD landmark slices covers every
+  // vertex the verdicts need: the applied edges' endpoints, every cached
+  // root, every point-cache root.  Cache residency and the commit are
+  // agreed state, so the sorted-unique list is identical on every rank
+  // and so is every verdict derived from the fetched rows.
+  util::Timer oracle_timer;
+  std::vector<graph::VertexId> verts;
+  for (const auto& e : commit.applied) {
+    verts.push_back(e.u);
+    verts.push_back(e.v);
+  }
+  const auto cached_roots = cache_.keys();
+  for (const auto r : cached_roots) {
+    if (r != facility_key()) verts.push_back(r);
+  }
+  for (const auto& [key, entry] : point_cache_) {
+    (void)entry;
+    verts.push_back(key.first);
+  }
+  std::sort(verts.begin(), verts.end());
+  verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+  const auto rows = oracle_->landmark_distances(verts);
+  const auto row_of = [&verts](graph::VertexId v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(verts.begin(), verts.end(), v) - verts.begin());
+  };
+
+  // Classify each applied edge: a decrease (insert, or set below the old
+  // weight) can only create shorter paths THROUGH the edge; a delete or
+  // increase can only matter where the OLD edge was load-bearing.
+  struct EdgeCase {
+    std::size_t u_row = 0;
+    std::size_t v_row = 0;
+    graph::VertexId u = 0;
+    graph::VertexId v = 0;
+    bool decrease = false;
+    graph::Weight dec_w = 0.0f;  ///< new weight
+    bool increase = false;
+    graph::Weight inc_w = 0.0f;  ///< old weight
+  };
+  std::vector<EdgeCase> cases;
+  cases.reserve(commit.applied.size());
+  for (const auto& e : commit.applied) {
+    EdgeCase c;
+    c.u = e.u;
+    c.v = e.v;
+    c.u_row = row_of(e.u);
+    c.v_row = row_of(e.v);
+    if (e.removed != 0) {
+      c.increase = true;
+      c.inc_w = e.old_weight;
+    } else if (e.had_old == 0) {
+      c.decrease = true;
+      c.dec_w = e.new_weight;
+    } else if (e.new_weight < e.old_weight) {
+      c.decrease = true;
+      c.dec_w = e.new_weight;
+    } else if (e.new_weight > e.old_weight) {
+      c.increase = true;
+      c.inc_w = e.old_weight;
+    }
+    cases.push_back(c);
+  }
+
+  // Root retention bracket (see the header): r's entire distance vector
+  // is provably unchanged iff every applied edge passes.  Slack margins
+  // absorb float rounding; infinite or absent bounds fail the test, so
+  // uncertainty always lands on the invalidate side.  An edge both of
+  // whose endpoints are PROVEN outside r's component can never matter.
+  const double slack = config_.oracle.prune_slack;
+  const auto lo = [slack](graph::Weight lb) {
+    return static_cast<double>(lb) * (1.0 - slack);
+  };
+  const auto hi = [slack](graph::Weight ub) {
+    return static_cast<double>(ub) * (1.0 + slack);
+  };
+  const auto retains = [&](graph::VertexId r) {
+    const auto& row_r = rows[row_of(r)];
+    for (const auto& c : cases) {
+      const auto bu = oracle_->bounds(row_r, rows[c.u_row], r, c.u);
+      const auto bv = oracle_->bounds(row_r, rows[c.v_row], r, c.v);
+      if (bu.unreachable && bv.unreachable) continue;
+      const double wu = lo(bu.lb);
+      const double wv = lo(bv.lb);
+      if (c.decrease) {
+        const double w = static_cast<double>(c.dec_w);
+        if (!(wu + w >= hi(bv.ub) && wv + w >= hi(bu.ub))) return false;
+      }
+      if (c.increase) {
+        // Strict: a tie edge may be load-bearing for attainability.
+        const double w = static_cast<double>(c.inc_w);
+        if (!(wu + w > hi(bv.ub) && wv + w > hi(bu.ub))) return false;
+      }
+    }
+    return true;
+  };
+  std::map<graph::VertexId, bool> verdict;
+  const auto root_ok = [&](graph::VertexId r) {
+    const auto it = verdict.find(r);
+    if (it != verdict.end()) return it->second;
+    const bool ok = retains(r);
+    verdict.emplace(r, ok);
+    return ok;
+  };
+
+  // Cached root slices: retain + restamp, or drop.  The facility slice
+  // is a multi-source wave the per-root bracket does not cover — always
+  // dropped.
+  for (const auto key : cached_roots) {
+    if (key != facility_key() && root_ok(key)) {
+      cache_.restamp(key, new_version);
+      ++metrics_.roots_retained;
+    } else {
+      (void)cache_.erase(key);
+      ++metrics_.roots_invalidated;
+    }
+  }
+
+  // Point entries: d(r, t) is unchanged whenever r's whole vector is.
+  for (auto it = point_cache_.begin(); it != point_cache_.end();) {
+    if (root_ok(it->first.first)) {
+      it->second.version = new_version;
+      ++metrics_.points_retained;
+      ++it;
+    } else {
+      point_order_.erase(std::find(point_order_.begin(), point_order_.end(),
+                                   it->first));
+      ++metrics_.points_invalidated;
+      it = point_cache_.erase(it);
+    }
+  }
+
+  // Whole-graph kernel memos never survive a mutation.
+  for (auto& slot : memo_) {
+    if (slot) {
+      ++metrics_.memo_invalidated;
+      slot.reset();
+    }
+  }
+
+  // Landmark slices: the fetched rows ARE the oracle's own labels, so
+  // the flag test is exact arithmetic, not a bracket.  A slice re-solves
+  // only when the edge could lie on one of ITS shortest paths (infinite
+  // arithmetic handles reachability changes: finite + w < inf flags the
+  // slice that just gained a reachable region).
+  std::vector<std::size_t> flagged;
+  for (std::size_t k = 0; k < oracle_->landmarks().size(); ++k) {
+    bool need = false;
+    for (const auto& c : cases) {
+      const graph::Weight du = rows[c.u_row][k];
+      const graph::Weight dv = rows[c.v_row][k];
+      if (!std::isfinite(du) && !std::isfinite(dv)) continue;
+      if (c.decrease && (du + c.dec_w < dv || dv + c.dec_w < du)) {
+        need = true;
+        break;
+      }
+      if (c.increase && (du + c.inc_w <= dv || dv + c.inc_w <= du)) {
+        need = true;
+        break;
+      }
+    }
+    if (need) flagged.push_back(k);
+  }
+  metrics_.oracle_seconds += oracle_timer.seconds();
+  metrics_.slices_refreshed += oracle_->refresh_slices(flagged, new_version);
+
+  graph_version_ = new_version;
+
+  // Keep the persistence slot current: a restart must adopt artifacts of
+  // THIS version or recompute, never resurrect pre-mutation state.
+  if (fault_ != nullptr && fault_->oracle_store != nullptr) {
+    oracle_->save(*fault_->oracle_store);
+    persist_point_cache(*fault_->oracle_store);
+  }
+}
+
+void DistanceService::persist_point_cache(OracleSliceStore& store) {
+  auto& b = store.point_blob;
+  b.clear();
+  const auto put_u64 = [&b](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    b.insert(b.end(), p, p + sizeof(v));
+  };
+  put_u64(OracleSliceStore::kFormatVersion);
+  put_u64(util::hash64(OracleSliceStore::kFormatVersion, g_.num_vertices,
+                       graph_version_));
+  put_u64(point_order_.size());
+  for (const auto& key : point_order_) {
+    put_u64(static_cast<std::uint64_t>(key.first));
+    put_u64(static_cast<std::uint64_t>(key.second));
+    std::uint64_t w_bits = 0;
+    std::memcpy(&w_bits, &point_cache_.at(key).distance,
+                sizeof(graph::Weight));
+    put_u64(w_bits);
+  }
+  put_u64(util::hash_bytes(b.data(), b.size()));
+  metrics_.point_persisted += point_order_.size();
+}
+
+bool DistanceService::try_adopt_points(const OracleSliceStore& store) {
+  const auto& b = store.point_blob;
+  if (b.empty()) return false;
+  std::size_t off = 0;
+  const auto get_u64 = [&b, &off](std::uint64_t& v) {
+    if (off + sizeof(v) > b.size()) return false;
+    std::memcpy(&v, b.data() + off, sizeof(v));
+    off += sizeof(v);
+    return true;
+  };
+  std::uint64_t version = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t count = 0;
+  if (!get_u64(version) || version != OracleSliceStore::kFormatVersion) {
+    return false;
+  }
+  if (!get_u64(digest) ||
+      digest != util::hash64(OracleSliceStore::kFormatVersion,
+                             g_.num_vertices, config_.graph_version)) {
+    return false;
+  }
+  if (!get_u64(count) || count > config_.point_cache_cap) return false;
+  const std::size_t expected = (4 + 3 * count) * sizeof(std::uint64_t);
+  if (b.size() != expected) return false;
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, b.data() + b.size() - sizeof(stored_sum),
+              sizeof(stored_sum));
+  if (util::hash_bytes(b.data(), b.size() - sizeof(stored_sum)) !=
+      stored_sum) {
+    return false;
+  }
+  point_cache_.clear();
+  point_order_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t r = 0;
+    std::uint64_t t = 0;
+    std::uint64_t w_bits = 0;
+    (void)get_u64(r);
+    (void)get_u64(t);
+    (void)get_u64(w_bits);
+    if (r >= g_.num_vertices || t >= g_.num_vertices) return false;
+    graph::Weight w = 0.0f;
+    std::memcpy(&w, &w_bits, sizeof(w));
+    const std::pair<graph::VertexId, graph::VertexId> key{r, t};
+    if (point_cache_.emplace(key, PointEntry{w, config_.graph_version})
+            .second) {
+      point_order_.push_back(key);
+    }
+  }
+  return true;
 }
 
 std::vector<Answer> DistanceService::drain(std::uint64_t start_tick,

@@ -59,6 +59,7 @@
 #include <map>
 
 #include "core/delta_stepping.hpp"
+#include "dyn/mutable_graph.hpp"
 #include "graph/builder.hpp"
 #include "serve/adaptive.hpp"
 #include "serve/cache.hpp"
@@ -113,6 +114,13 @@ struct ServeConfig {
   std::uint64_t deadline_iters_per_tick = 0;
   /// Entry bound of the exact point cache (FIFO; 0 disables it).
   std::size_t point_cache_cap = 1024;
+
+  /// Graph version the service starts on (dyn::MutableGraph::version of
+  /// the view it was constructed over; 0 for a static graph).  Every
+  /// cached artifact is stamped with the version it was solved on and
+  /// fails closed on mismatch; note_graph_update() advances the live
+  /// version after a commit.
+  std::uint64_t graph_version = 0;
 };
 
 /// How a query's lifecycle ended.
@@ -151,6 +159,9 @@ struct Answer {
   AnalyticsKernel kernel = AnalyticsKernel::kPageRank;
   double value = 0.0;
   std::uint64_t digest = 0;
+  /// Graph version the answer was computed against (the service's live
+  /// version at completion time).
+  std::uint64_t graph_version = 0;
   /// Saturating: a flush can complete a query on an earlier tick than its
   /// recorded arrival only if the caller's clocks disagree; report 0
   /// rather than wrapping to ~2^64.
@@ -222,6 +233,22 @@ struct ServiceMetrics {
   std::uint64_t point_cache_misses = 0;  ///< p2p lookups that found nothing
   std::uint64_t point_cache_inserts = 0;
   std::uint64_t point_cache_evictions = 0;
+  std::uint64_t point_persisted = 0;  ///< entries written to the slice store
+  std::uint64_t point_restored = 0;   ///< entries adopted from the store
+
+  // ---- streaming mutations (zero unless note_graph_update runs) -------
+  std::uint64_t graph_updates = 0;         ///< commits observed
+  std::uint64_t update_edges_applied = 0;  ///< undirected effective changes
+  /// Scoped-invalidation verdicts: cached root slices / point entries
+  /// either proven untouched by the oracle brackets (retained, restamped
+  /// to the new version) or dropped.
+  std::uint64_t roots_invalidated = 0;
+  std::uint64_t roots_retained = 0;
+  std::uint64_t points_invalidated = 0;
+  std::uint64_t points_retained = 0;
+  std::uint64_t memo_invalidated = 0;   ///< whole-graph memo slots dropped
+  std::uint64_t slices_refreshed = 0;   ///< landmark slices re-solved
+  std::uint64_t wholesale_flushes = 0;  ///< updates with no oracle to scope by
 
   util::Log2Histogram latency_ticks;     ///< per answered DISTANCE query
   util::Log2Histogram analytics_latency_ticks;  ///< per answered analytics job
@@ -339,6 +366,40 @@ class DistanceService {
     return breaker_;
   }
 
+  /// Graph version the service is currently answering against.
+  [[nodiscard]] std::uint64_t graph_version() const noexcept {
+    return graph_version_;
+  }
+
+  /// Collective: absorb one committed mutation batch.  Call it on every
+  /// rank, in lockstep, with the identical CommitSummary, after the
+  /// DistGraph the service was constructed over has been rebuilt (i.e.
+  /// right after dyn::MutableGraph::commit_batch on the same view).
+  ///
+  /// With the oracle enabled the invalidation is SCOPED: one collective
+  /// row fetch on the OLD landmark slices brackets every applied edge
+  /// against every cached root, retaining (and restamping) exactly the
+  /// entries whose distances provably cannot have changed —
+  ///
+  ///   decrease to weight w keeps root r iff for both endpoint orders
+  ///     lb(r,u)*(1-slack) + w >= ub(r,v)*(1+slack)
+  ///   (no path through the new edge can undercut any old label), and
+  ///   delete / increase from old weight w keeps r iff the same holds
+  ///   STRICTLY (a tie edge may be load-bearing for attainability) —
+  ///
+  /// while landmark slices re-solve only when their own (exact) rows show
+  /// the edge could lie on one of their shortest paths.  Infinite or
+  /// absent bounds fail the test, i.e. fail closed.  Without an oracle
+  /// every cached artifact is flushed wholesale.  The analytics memo is
+  /// always cleared (kernel digests are whole-graph).
+  void note_graph_update(const dyn::CommitSummary& commit);
+
+  /// Serialize the exact point cache into `store.point_blob` (digest
+  /// pins format version, graph shape and graph version; trailing
+  /// checksum).  The constructor adopts it back behind the same gate,
+  /// agreed across ranks.  Counterpart of LandmarkOracle::save.
+  void persist_point_cache(OracleSliceStore& store);
+
  private:
   /// Reserved cache key for the facility wave (delta_stepping_multi over
   /// config_.facilities).  No real root can collide: vertex ids are
@@ -380,10 +441,17 @@ class DistanceService {
                            std::vector<Answer>& answers);
 
   /// Exact point cache (FIFO, bounded by config_.point_cache_cap).
+  /// Lookup fails closed on a version-stale entry (drops it, returns
+  /// nullptr); insert stamps the live graph version.
   [[nodiscard]] const graph::Weight* lookup_point(graph::VertexId root,
-                                                  graph::VertexId target) const;
+                                                  graph::VertexId target);
   void insert_point(graph::VertexId root, graph::VertexId target,
                     graph::Weight distance);
+
+  /// Rank-local half of the point-cache adopt gate (see
+  /// persist_point_cache); the constructor agrees the verdict by
+  /// allreduce so residency never diverges across ranks.
+  [[nodiscard]] bool try_adopt_points(const OracleSliceStore& store);
 
   /// The snapshot slot to pass to a wave on `key`, honouring the
   /// resume-key protection rule (see FaultContext::snapshot).
@@ -403,10 +471,15 @@ class DistanceService {
   /// completed untruncated run answers every later job of that kernel);
   /// reachability is per-pair and never memoized.
   std::array<std::optional<AnalyticsOutcome>, kNumAnalyticsKernels> memo_;
-  /// Exact point cache: pruned-wave target values, keyed (root, target).
+  /// Exact point cache: pruned-wave target values, keyed (root, target)
+  /// and stamped with the graph version they were solved on.
   /// Deterministic FIFO residency — a pure function of the submission
   /// sequence, like every other collective decision here.
-  std::map<std::pair<graph::VertexId, graph::VertexId>, graph::Weight>
+  struct PointEntry {
+    graph::Weight distance = 0.0f;
+    std::uint64_t version = 0;
+  };
+  std::map<std::pair<graph::VertexId, graph::VertexId>, PointEntry>
       point_cache_;
   std::deque<std::pair<graph::VertexId, graph::VertexId>> point_order_;
   std::vector<Query> shed_log_;
@@ -415,6 +488,10 @@ class DistanceService {
   std::optional<std::uint64_t> last_now_;  ///< monotonic-clock watermark
   FaultContext* fault_ = nullptr;          ///< driver-owned; may be nullptr
   BreakerStatus breaker_;  ///< per-rank copy; transitions are deterministic
+  /// Live graph version; starts at config_.graph_version, advanced by
+  /// note_graph_update.  Identical on every rank (allreduce-agreed
+  /// upstream in MutableGraph::commit_batch).
+  std::uint64_t graph_version_ = 0;
 };
 
 }  // namespace g500::serve

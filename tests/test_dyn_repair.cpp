@@ -1,0 +1,311 @@
+// Incremental repair vs from-scratch recompute: randomized update-batch
+// fuzzing across rank counts (bit-identical distances after every batch),
+// localized-repair work bounds, and injected crash/stall chaos during a
+// repair wave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/delta_stepping.hpp"
+#include "core/validate.hpp"
+#include "dyn/mutable_graph.hpp"
+#include "dyn/repair.hpp"
+#include "graph/builder.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/fault.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace g500;
+using namespace g500::graph;
+using dyn::EdgeUpdate;
+using dyn::MutableGraph;
+using dyn::UpdateOp;
+
+using EdgeTuple = std::tuple<VertexId, VertexId, Weight>;
+constexpr VertexId kRoot = 0;
+
+/// Ring backbone (keeps vertex 0 connected to everything initially) plus
+/// random chords — long shortest paths, so deletions cut real subtrees.
+EdgeList fuzz_graph(VertexId n, std::uint64_t seed) {
+  EdgeList input;
+  input.num_vertices = n;
+  util::SplitMix64 rng(seed);
+  for (VertexId v = 0; v < n; ++v) {
+    input.edges.push_back(
+        Edge{v, (v + 1) % n, static_cast<Weight>(rng.next_double())});
+  }
+  for (VertexId i = 0; i < n / 2; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    input.edges.push_back(Edge{u, v, static_cast<Weight>(rng.next_double())});
+  }
+  return input;
+}
+
+/// Every directed edge of the committed view, gathered to all ranks —
+/// the shared pool random batches draw existing edges from.
+std::vector<EdgeTuple> gather_view_edges(simmpi::Comm& comm,
+                                         const DistGraph& g) {
+  std::vector<WireEdge> mine;
+  const VertexId my_begin = g.part.begin(comm.rank());
+  for (LocalId u = 0; u < static_cast<LocalId>(g.part.count(comm.rank()));
+       ++u) {
+    for (std::uint64_t e = g.csr.edges_begin(u); e < g.csr.edges_end(u); ++e) {
+      mine.push_back(WireEdge{my_begin + u, g.csr.dst(e), g.csr.weight(e)});
+    }
+  }
+  const auto all = comm.allgatherv(mine);
+  std::vector<EdgeTuple> out;
+  out.reserve(all.size());
+  for (const auto& e : all) out.emplace_back(e.src, e.dst, e.weight);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Random batch mixing inserts (incl. self-loops), deletions of existing
+/// edges, and weight sets both up and down; deterministic per (seed, pool),
+/// so every rank generates the identical batch.
+std::vector<EdgeUpdate> random_batch(std::uint64_t seed, VertexId n,
+                                     const std::vector<EdgeTuple>& existing) {
+  util::SplitMix64 rng(seed);
+  std::vector<EdgeUpdate> batch;
+  const int count = 5 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < count; ++i) {
+    const auto roll = rng.next_below(10);
+    if (roll < 4 || existing.empty()) {
+      const auto u = static_cast<VertexId>(rng.next_below(n));
+      const auto v = static_cast<VertexId>(rng.next_below(n));  // may self-loop
+      batch.push_back(EdgeUpdate{u, v, static_cast<Weight>(rng.next_double()),
+                                 UpdateOp::kInsert});
+    } else {
+      const auto& [u, v, w] = existing[rng.next_below(existing.size())];
+      if (roll < 7) {
+        batch.push_back(EdgeUpdate{u, v, 0.0f, UpdateOp::kDelete});
+      } else {
+        // kSet up to 2x the unit range: roughly half are increases, which
+        // exercise suspect detection and descendant invalidation.
+        batch.push_back(EdgeUpdate{
+            u, v, static_cast<Weight>(rng.next_double() * 2), UpdateOp::kSet});
+      }
+    }
+  }
+  if (!batch.empty()) batch.push_back(batch.front());  // duplicate op
+  return batch;
+}
+
+/// The fuzz loop: commit random batches, repair the chained labels, and
+/// demand bit-identical distances vs a from-scratch recompute every time.
+void fuzz_rounds(int P, int rounds, std::uint64_t seed,
+                 const core::SsspConfig& config) {
+  const auto input = fuzz_graph(128, seed);
+  simmpi::World world(P);
+  world.run([&](simmpi::Comm& comm) {
+    MutableGraph mg(comm, build_distributed(
+                              comm, slice_for_rank(input, comm.rank(), P),
+                              input.num_vertices));
+    auto labels = core::delta_stepping(comm, mg.view(), kRoot, config);
+    for (int round = 0; round < rounds; ++round) {
+      const auto existing = gather_view_edges(comm, mg.view());
+      const auto batch = random_batch(seed + 17 * round + 1, 128, existing);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (static_cast<int>(i % static_cast<std::size_t>(P)) == comm.rank()) {
+          mg.stage(batch[i]);
+        }
+      }
+      const auto summary = mg.commit_batch();
+
+      dyn::RepairStats rs;
+      dyn::incremental_sssp_repair(comm, mg.view(), kRoot, summary, labels,
+                                   config, &rs);
+      const auto scratch = core::delta_stepping(comm, mg.view(), kRoot, config);
+      ASSERT_EQ(labels.dist, scratch.dist)
+          << "repair diverges from recompute, P=" << P << " round=" << round;
+      if (round % 3 == 0) {
+        const auto verdict =
+            core::validate_sssp(comm, mg.view(), kRoot, labels);
+        EXPECT_TRUE(verdict.ok) << "repaired tree invalid, P=" << P
+                                << " round=" << round;
+      }
+    }
+  });
+}
+
+TEST(IncrementalRepair, FuzzedBatchesMatchRecomputeAcrossRanks) {
+  for (const int P : {1, 2, 3, 5, 8}) {
+    fuzz_rounds(P, 6, 0xF122 + static_cast<std::uint64_t>(P), {});
+  }
+}
+
+TEST(IncrementalRepair, FuzzedBatchesMatchRecomputePlainConfig) {
+  for (const int P : {1, 3, 8}) {
+    fuzz_rounds(P, 5, 0x9A17 + static_cast<std::uint64_t>(P),
+                core::SsspConfig::plain());
+  }
+}
+
+TEST(IncrementalRepair, EmptyCommitIsNoOpAndKeepsLabels) {
+  const auto input = fuzz_graph(64, 0xE0);
+  simmpi::World world(2);
+  world.run([&](simmpi::Comm& comm) {
+    MutableGraph mg(comm, build_distributed(
+                              comm, slice_for_rank(input, comm.rank(), 2),
+                              input.num_vertices));
+    auto labels = core::delta_stepping(comm, mg.view(), kRoot);
+    const auto before = labels;
+    const auto summary = mg.commit_batch();  // nothing staged
+    EXPECT_TRUE(summary.applied.empty());
+    dyn::RepairStats rs;
+    dyn::incremental_sssp_repair(comm, mg.view(), kRoot, summary, labels, {},
+                                 &rs);
+    EXPECT_EQ(rs.seeds, 0u);
+    EXPECT_EQ(rs.invalidated, 0u);
+    EXPECT_EQ(labels.dist, before.dist);
+    EXPECT_EQ(labels.parent, before.parent);
+  });
+}
+
+// A localized batch must cost the repair strictly less relaxation work
+// than recomputing from scratch — the claim bench_dynamic gates on.
+TEST(IncrementalRepair, LocalizedBatchDoesLessWorkThanRecompute) {
+  const auto input = fuzz_graph(512, 0x10CA1);
+  const int P = 4;
+  simmpi::World world(P);
+  world.run([&](simmpi::Comm& comm) {
+    MutableGraph mg(comm, build_distributed(
+                              comm, slice_for_rank(input, comm.rank(), P),
+                              input.num_vertices));
+    auto labels = core::delta_stepping(comm, mg.view(), kRoot);
+    // One fresh edge far from the root, at a weight unlikely to shorten
+    // much beyond its own neighborhood.
+    if (comm.rank() == 0) mg.stage_insert(300, 303, 0.9f);
+    const auto summary = mg.commit_batch();
+
+    dyn::RepairStats rs;
+    dyn::incremental_sssp_repair(comm, mg.view(), kRoot, summary, labels, {},
+                                 &rs);
+    core::SsspStats scratch_stats;
+    const auto scratch =
+        core::delta_stepping(comm, mg.view(), kRoot, {}, &scratch_stats);
+    ASSERT_EQ(labels.dist, scratch.dist);
+
+    const auto repair_work = comm.allreduce_sum(rs.sssp.relax_generated);
+    const auto scratch_work = comm.allreduce_sum(scratch_stats.relax_generated);
+    EXPECT_LT(repair_work, scratch_work)
+        << "repairing one edge should not re-relax the whole graph";
+  });
+}
+
+// Chaos: a rank crashes mid-repair; the recovery model is wholesale re-run
+// (the caller re-plays the commit + repair), and the recovered distances
+// must be bit-identical to an undisturbed run.
+TEST(IncrementalRepair, CrashDuringRepairWaveRecoversBitIdentical) {
+  const auto input = fuzz_graph(256, 0xC4A5);
+  const int P = 3;
+  const int victim = 1;
+
+  // The update batch: cut two ring edges (forcing descendant invalidation
+  // waves) and add a decrease — a repair with real multi-phase work.
+  const auto stage_batch = [](MutableGraph& mg, int rank) {
+    if (rank == 0) {
+      mg.stage_delete(40, 41);
+      mg.stage_set(200, 201, 1.9f);
+    }
+    if (rank == 2 % 3) mg.stage_insert(90, 140, 0.05f);
+  };
+
+  // One full episode: build, solve, commit the batch, repair, report the
+  // repaired owned slices gathered to rank 0.
+  const auto episode = [&](simmpi::Comm& comm, bool stop_before_repair,
+                           std::vector<Weight>* out) {
+    MutableGraph mg(comm, build_distributed(
+                              comm, slice_for_rank(input, comm.rank(), P),
+                              input.num_vertices));
+    auto labels = core::delta_stepping(comm, mg.view(), kRoot);
+    stage_batch(mg, comm.rank());
+    const auto summary = mg.commit_batch();
+    if (stop_before_repair) return;
+    dyn::incremental_sssp_repair(comm, mg.view(), kRoot, summary, labels);
+    const auto whole = core::gather_result(comm, mg.view(), labels);
+    if (comm.rank() == 0 && out != nullptr) *out = whole.dist;
+  };
+
+  std::vector<Weight> reference;
+  {
+    simmpi::World clean(P);
+    clean.run([&](simmpi::Comm& comm) { episode(comm, false, &reference); });
+  }
+  ASSERT_FALSE(reference.empty());
+
+  // Probe the victim's collective counts up to the repair, then through
+  // the whole episode, and plant the crash inside the repair wave.
+  std::uint64_t pre_calls = 0;
+  std::uint64_t total_calls = 0;
+  {
+    simmpi::World probe(P);
+    probe.set_fault_plan(simmpi::FaultPlan{});
+    probe.run([&](simmpi::Comm& comm) { episode(comm, true, nullptr); });
+    pre_calls = probe.injector()->collective_calls(victim);
+  }
+  {
+    simmpi::World probe(P);
+    probe.set_fault_plan(simmpi::FaultPlan{});
+    probe.run([&](simmpi::Comm& comm) { episode(comm, false, nullptr); });
+    total_calls = probe.injector()->collective_calls(victim);
+  }
+  ASSERT_GT(total_calls, pre_calls + 4)
+      << "repair phase too small to crash into";
+  const std::uint64_t crash_at = pre_calls + (total_calls - pre_calls) / 2;
+
+  simmpi::World world(P);
+  world.set_fault_plan(simmpi::FaultPlan{}.crash(victim, crash_at));
+  std::vector<Weight> recovered;
+  EXPECT_THROW(
+      world.run([&](simmpi::Comm& comm) { episode(comm, false, nullptr); }),
+      simmpi::InjectedCrashError);
+  EXPECT_EQ(world.injector()->events_fired(), 1u);
+  // Wholesale re-run: the consumed fault does not refire.
+  world.run([&](simmpi::Comm& comm) { episode(comm, false, &recovered); });
+  EXPECT_EQ(recovered, reference);
+}
+
+// Injected stalls charge virtual delay but must not perturb the repair.
+TEST(IncrementalRepair, RepairUnderInjectedStallIsBitIdentical) {
+  const auto input = fuzz_graph(192, 0x57A1);
+  const int P = 2;
+
+  const auto episode = [&](simmpi::Comm& comm, std::vector<Weight>* out) {
+    MutableGraph mg(comm, build_distributed(
+                              comm, slice_for_rank(input, comm.rank(), P),
+                              input.num_vertices));
+    auto labels = core::delta_stepping(comm, mg.view(), kRoot);
+    if (comm.rank() == 0) {
+      mg.stage_delete(10, 11);
+      mg.stage_insert(50, 120, 0.1f);
+    }
+    const auto summary = mg.commit_batch();
+    dyn::incremental_sssp_repair(comm, mg.view(), kRoot, summary, labels);
+    const auto whole = core::gather_result(comm, mg.view(), labels);
+    if (comm.rank() == 0 && out != nullptr) *out = whole.dist;
+  };
+
+  std::vector<Weight> reference;
+  {
+    simmpi::World clean(P);
+    clean.run([&](simmpi::Comm& comm) { episode(comm, &reference); });
+  }
+  ASSERT_FALSE(reference.empty());
+
+  simmpi::World world(P);
+  world.set_fault_plan(
+      simmpi::FaultPlan{}.stall(1, 40, 1.5).stall(0, 90, 1.5));
+  std::vector<Weight> stalled;
+  world.run([&](simmpi::Comm& comm) { episode(comm, &stalled); });
+  EXPECT_EQ(stalled, reference);
+  EXPECT_GT(world.aggregate_stats().stall_seconds, 0.0);
+}
+
+}  // namespace
