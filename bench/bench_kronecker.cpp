@@ -5,9 +5,12 @@
 // materialization, the vertex scramble, and the full distributed build.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "gbench_report.hpp"
 #include "graph/builder.hpp"
 #include "graph/kronecker.hpp"
+#include "ooc/pipeline.hpp"
 #include "simmpi/comm.hpp"
 
 namespace {
@@ -65,6 +68,34 @@ BENCHMARK(BM_DistributedBuild)
     ->Args({12, 4})
     ->Args({14, 4})
     ->Args({14, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// The out-of-core bin/sort/pack pipeline against the in-memory build above:
+// same scales, but edges stream through bounded buffers into disk shards
+// instead of materializing per rank.
+void BM_PipelinedBuild(benchmark::State& state) {
+  KroneckerParams params;
+  params.scale = static_cast<int>(state.range(0));
+  const int ranks = static_cast<int>(state.range(1));
+  const auto dir =
+      std::filesystem::temp_directory_path() / "g500_bench_ooc";
+  ooc::PipelineOptions opts;
+  opts.resident_budget_bytes = 8ull << 20;
+  for (auto _ : state) {
+    simmpi::World world(ranks);
+    world.run([&](simmpi::Comm& comm) {
+      benchmark::DoNotOptimize(
+          ooc::build_sharded_kronecker(comm, params, dir.string(), opts));
+    });
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(params.num_edges()));
+}
+BENCHMARK(BM_PipelinedBuild)
+    ->Args({12, 1})
+    ->Args({12, 4})
+    ->Args({14, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

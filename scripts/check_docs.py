@@ -34,7 +34,7 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 # Where the schema gate's enforced keys must be documented.
 SCHEMA_DOCS = ("docs/telemetry.md", "docs/serving.md", "docs/async.md",
-               "docs/dynamic.md")
+               "docs/dynamic.md", "docs/out_of_core.md")
 
 
 def markdown_files(root):

@@ -172,6 +172,38 @@ DYNAMIC_INVALIDATION_KEYS = (
     "version_misses",
 )
 DYNAMIC_POINT_KEYS = ("persisted", "restored")
+# weak_scaling.ooc: the out-of-core demonstration (docs/out_of_core.md) —
+# bit-identity of the pipelined sharded build, then a scale step under a
+# resident cap the in-memory builder cannot satisfy.
+OOC_IDENTITY_KEYS = ("scale", "ranks", "roots", "bit_identical",
+                     "build_pipeline")
+OOC_CAP_KEYS = (
+    "scale",
+    "ranks",
+    "cap_bytes",
+    "inmemory_estimate_bytes",
+    "infeasible_in_memory",
+    "peak_resident_bytes",
+    "under_cap",
+    "sssp_seconds",
+    "sssp_teps",
+    "valid",
+    "residency",
+    "build_pipeline",
+)
+OOC_PIPELINE_KEYS = (
+    "bin",
+    "sort",
+    "pack",
+    "runs_spilled",
+    "spilled_bytes",
+    "shard_bytes",
+    "peak_resident_bytes",
+    "budget_bytes",
+    "total_seconds",
+)
+OOC_STAGE_KEYS = ("edges", "bytes", "seconds", "meps")
+OOC_RESIDENCY_KEYS = ("backing", "resident_bytes", "mapped_bytes")
 # breakdown.async: the gated async-vs-sync comparison (docs/async.md) —
 # distances must be bit-identical with strictly fewer global collectives.
 BREAKDOWN_ASYNC_KEYS = (
@@ -240,6 +272,64 @@ def check_report(doc, path, errors):
         check_breakdown_async(doc, path, errors)
     if doc.get("harness") == "replay":
         check_replay_async(doc, path, errors)
+    if doc.get("harness") == "weak_scaling" and "ooc" in doc:
+        check_ooc(doc, path, errors)
+
+
+def check_ooc_pipeline(pipeline, where, path, errors):
+    if not isinstance(pipeline, dict):
+        errors.append(f"{path}: {where} missing 'build_pipeline'")
+        return
+    for key in OOC_PIPELINE_KEYS:
+        if key not in pipeline:
+            errors.append(f"{path}: {where} build_pipeline missing '{key}'")
+    for stage in ("bin", "sort", "pack"):
+        block = pipeline.get(stage)
+        if not isinstance(block, dict):
+            continue
+        for key in OOC_STAGE_KEYS:
+            if key not in block:
+                errors.append(
+                    f"{path}: {where} build_pipeline.{stage} missing '{key}'")
+
+
+def check_ooc(doc, path, errors):
+    ooc = doc.get("ooc")
+    if not isinstance(ooc, dict):
+        errors.append(f"{path}: weak_scaling report 'ooc' is not an object")
+        return
+    identity = ooc.get("identity")
+    if not isinstance(identity, dict):
+        errors.append(f"{path}: ooc section missing 'identity'")
+    else:
+        for key in OOC_IDENTITY_KEYS:
+            if key not in identity:
+                errors.append(f"{path}: ooc identity missing '{key}'")
+        if identity.get("bit_identical") is not True:
+            errors.append(
+                f"{path}: sharded build not bit_identical to in-memory build")
+        check_ooc_pipeline(identity.get("build_pipeline"), "ooc identity",
+                           path, errors)
+    cap = ooc.get("cap_step")
+    if not isinstance(cap, dict):
+        errors.append(f"{path}: ooc section missing 'cap_step'")
+        return
+    for key in OOC_CAP_KEYS:
+        if key not in cap:
+            errors.append(f"{path}: ooc cap_step missing '{key}'")
+    for gate in ("infeasible_in_memory", "under_cap", "valid"):
+        if cap.get(gate) is not True:
+            errors.append(f"{path}: ooc cap_step gate '{gate}' did not pass")
+    residency = cap.get("residency")
+    if isinstance(residency, dict):
+        for key in OOC_RESIDENCY_KEYS:
+            if key not in residency:
+                errors.append(f"{path}: ooc cap_step residency missing '{key}'")
+        if residency.get("resident_bytes") not in (0,):
+            errors.append(
+                f"{path}: ooc cap_step graph not fully mapped "
+                f"(resident_bytes != 0)")
+    check_ooc_pipeline(cap.get("build_pipeline"), "ooc cap_step", path, errors)
 
 
 def check_dynamic(doc, path, errors):

@@ -19,6 +19,16 @@ bool hub_less(const HubCandidate& a, const HubCandidate& b) {
   return a.vertex < b.vertex;
 }
 
+}  // namespace
+
+std::size_t resolved_hub_count(const BuildOptions& opts,
+                               VertexId num_vertices) {
+  if (opts.hub_count != BuildOptions::kAutoHubCount) return opts.hub_count;
+  return std::min<std::size_t>(
+      1024, std::max<std::size_t>(
+                16, static_cast<std::size_t>(num_vertices / 256)));
+}
+
 void select_hubs(simmpi::Comm& comm, const BlockPartition& part,
                  const LocalCsr& csr, std::size_t hub_count,
                  std::vector<VertexId>& hubs,
@@ -57,8 +67,6 @@ void select_hubs(simmpi::Comm& comm, const BlockPartition& part,
     hub_degrees.push_back(c.degree);
   }
 }
-
-}  // namespace
 
 DistGraph build_distributed(simmpi::Comm& comm, const EdgeList& input_slice,
                             VertexId num_vertices, const BuildOptions& opts) {
@@ -119,13 +127,8 @@ DistGraph build_distributed(simmpi::Comm& comm, const EdgeList& input_slice,
     g.degree_hist.add(g.csr.degree(u));
   }
 
-  std::size_t hub_count = opts.hub_count;
-  if (hub_count == BuildOptions::kAutoHubCount) {
-    hub_count = std::min<std::size_t>(
-        1024, std::max<std::size_t>(
-                  16, static_cast<std::size_t>(num_vertices / 256)));
-  }
-  select_hubs(comm, g.part, g.csr, hub_count, g.hubs, g.hub_degrees);
+  select_hubs(comm, g.part, g.csr, resolved_hub_count(opts, num_vertices),
+              g.hubs, g.hub_degrees);
   return g;
 }
 

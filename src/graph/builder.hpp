@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -36,6 +37,11 @@ struct BuildOptions {
   bool build_pull_index = true;
 };
 
+/// How a DistGraph's adjacency arrays are backed: heap vectors built in
+/// memory, or views into an mmap'd CSR shard (graph/shard.hpp) whose pages
+/// the OS loads on demand — the out-of-core execution mode.
+enum class GraphBacking { kResident, kMapped };
+
 /// The distributed graph one rank holds.  An SPMD program constructs one
 /// per rank; global invariants (hub list, edge counts) are identical across
 /// ranks by construction.
@@ -61,6 +67,13 @@ struct DistGraph {
   /// Histogram of owned-vertex degrees (merge across ranks for global).
   util::Log2Histogram degree_hist;
 
+  /// Storage backing of csr/pull.  When kMapped, `mapping` keeps the shard
+  /// file mapped for the lifetime of the views and `mapped_bytes` counts
+  /// the file-backed section bytes (not resident heap).
+  GraphBacking backing = GraphBacking::kResident;
+  std::uint64_t mapped_bytes = 0;
+  std::shared_ptr<const void> mapping;
+
   [[nodiscard]] int rank_of(VertexId v) const { return part.owner(v); }
   [[nodiscard]] VertexId local_count() const {
     return static_cast<VertexId>(csr.num_local());
@@ -83,5 +96,19 @@ struct DistGraph {
 /// slice — test helper mirroring how real runs shard generator output.
 [[nodiscard]] EdgeList slice_for_rank(const EdgeList& whole, int rank,
                                       int num_ranks);
+
+/// The effective hub count for `opts` on an n-vertex graph (resolves
+/// BuildOptions::kAutoHubCount; shared by the builder and shard loader).
+[[nodiscard]] std::size_t resolved_hub_count(const BuildOptions& opts,
+                                             VertexId num_vertices);
+
+/// Collectively agree on the global top-`hub_count` vertices by degree
+/// (ties by id ascending): every rank contributes its local top
+/// candidates, the union is reduced identically everywhere.  Shared by
+/// build_distributed and load_sharded so both paths select the same hubs.
+void select_hubs(simmpi::Comm& comm, const BlockPartition& part,
+                 const LocalCsr& csr, std::size_t hub_count,
+                 std::vector<VertexId>& hubs,
+                 std::vector<std::uint64_t>& hub_degrees);
 
 }  // namespace g500::graph

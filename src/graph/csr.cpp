@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace g500::graph {
 
@@ -21,17 +22,89 @@ LocalCsr::LocalCsr(LocalId num_local, std::vector<WireEdge> edges)
               return a.dst < b.dst;
             });
 
-  offsets_.assign(static_cast<std::size_t>(num_local) + 1, 0);
-  adj_dst_.reserve(edges.size());
-  adj_w_.reserve(edges.size());
+  offsets_store_.assign(static_cast<std::size_t>(num_local) + 1, 0);
+  dst_store_.reserve(edges.size());
+  w_store_.reserve(edges.size());
   for (const auto& e : edges) {
-    ++offsets_[static_cast<std::size_t>(e.src) + 1];
-    adj_dst_.push_back(e.dst);
-    adj_w_.push_back(e.weight);
+    ++offsets_store_[static_cast<std::size_t>(e.src) + 1];
+    dst_store_.push_back(e.dst);
+    w_store_.push_back(e.weight);
   }
-  for (std::size_t i = 1; i < offsets_.size(); ++i) {
-    offsets_[i] += offsets_[i - 1];
+  for (std::size_t i = 1; i < offsets_store_.size(); ++i) {
+    offsets_store_[i] += offsets_store_[i - 1];
   }
+  bind_owned();
+}
+
+LocalCsr LocalCsr::view(LocalId num_local,
+                        std::span<const std::uint64_t> offsets,
+                        std::span<const VertexId> dst,
+                        std::span<const Weight> w) {
+  if (offsets.size() != static_cast<std::size_t>(num_local) + 1 ||
+      offsets.front() != 0 || offsets.back() != dst.size() ||
+      dst.size() != w.size()) {
+    throw std::invalid_argument("LocalCsr::view: inconsistent array shapes");
+  }
+  LocalCsr csr;
+  csr.num_local_ = num_local;
+  csr.owned_ = false;
+  csr.offsets_ = offsets;
+  csr.adj_dst_ = dst;
+  csr.adj_w_ = w;
+  return csr;
+}
+
+void LocalCsr::bind_owned() {
+  owned_ = true;
+  offsets_ = offsets_store_;
+  adj_dst_ = dst_store_;
+  adj_w_ = w_store_;
+}
+
+LocalCsr& LocalCsr::operator=(const LocalCsr& other) {
+  if (this == &other) return *this;
+  num_local_ = other.num_local_;
+  if (other.owned_) {
+    offsets_store_ = other.offsets_store_;
+    dst_store_ = other.dst_store_;
+    w_store_ = other.w_store_;
+    bind_owned();
+  } else {
+    // Copies of a view share the external storage.
+    offsets_store_.clear();
+    dst_store_.clear();
+    w_store_.clear();
+    owned_ = false;
+    offsets_ = other.offsets_;
+    adj_dst_ = other.adj_dst_;
+    adj_w_ = other.adj_w_;
+  }
+  return *this;
+}
+
+LocalCsr& LocalCsr::operator=(LocalCsr&& other) noexcept {
+  if (this == &other) return *this;
+  num_local_ = other.num_local_;
+  owned_ = other.owned_;
+  // Moving a vector transfers its heap buffer, so spans into it stay valid.
+  offsets_store_ = std::move(other.offsets_store_);
+  dst_store_ = std::move(other.dst_store_);
+  w_store_ = std::move(other.w_store_);
+  offsets_ = other.offsets_;
+  adj_dst_ = other.adj_dst_;
+  adj_w_ = other.adj_w_;
+  other.num_local_ = 0;
+  other.owned_ = true;
+  other.offsets_ = {};
+  other.adj_dst_ = {};
+  other.adj_w_ = {};
+  return *this;
+}
+
+std::uint64_t LocalCsr::resident_bytes() const noexcept {
+  return offsets_store_.capacity() * sizeof(std::uint64_t) +
+         dst_store_.capacity() * sizeof(VertexId) +
+         w_store_.capacity() * sizeof(Weight);
 }
 
 std::uint64_t LocalCsr::split_at(LocalId u, Weight delta) const {
@@ -62,18 +135,94 @@ PullIndex PullIndex::from_csr(const LocalCsr& csr) {
   });
 
   PullIndex index;
-  index.dst_.reserve(entries.size());
-  index.w_.reserve(entries.size());
+  index.dst_store_.reserve(entries.size());
+  index.w_store_.reserve(entries.size());
   for (const auto& e : entries) {
-    if (index.sources_.empty() || index.sources_.back() != e.src) {
-      index.sources_.push_back(e.src);
-      index.offsets_.push_back(index.dst_.size());
+    if (index.sources_store_.empty() || index.sources_store_.back() != e.src) {
+      index.sources_store_.push_back(e.src);
+      index.offsets_store_.push_back(index.dst_store_.size());
     }
-    index.dst_.push_back(e.dst);
-    index.w_.push_back(e.w);
+    index.dst_store_.push_back(e.dst);
+    index.w_store_.push_back(e.w);
   }
-  index.offsets_.push_back(index.dst_.size());
+  index.offsets_store_.push_back(index.dst_store_.size());
+  index.bind_owned();
   return index;
+}
+
+PullIndex PullIndex::view(std::span<const VertexId> sources,
+                          std::span<const std::uint64_t> offsets,
+                          std::span<const LocalId> dst,
+                          std::span<const Weight> w) {
+  if (offsets.size() != sources.size() + 1 ||
+      (offsets.empty() ? !dst.empty()
+                       : (offsets.front() != 0 || offsets.back() != dst.size())) ||
+      dst.size() != w.size()) {
+    throw std::invalid_argument("PullIndex::view: inconsistent array shapes");
+  }
+  PullIndex index;
+  index.owned_ = false;
+  index.sources_ = sources;
+  index.offsets_ = offsets;
+  index.dst_ = dst;
+  index.w_ = w;
+  return index;
+}
+
+void PullIndex::bind_owned() {
+  owned_ = true;
+  sources_ = sources_store_;
+  offsets_ = offsets_store_;
+  dst_ = dst_store_;
+  w_ = w_store_;
+}
+
+PullIndex& PullIndex::operator=(const PullIndex& other) {
+  if (this == &other) return *this;
+  if (other.owned_) {
+    sources_store_ = other.sources_store_;
+    offsets_store_ = other.offsets_store_;
+    dst_store_ = other.dst_store_;
+    w_store_ = other.w_store_;
+    bind_owned();
+  } else {
+    sources_store_.clear();
+    offsets_store_.clear();
+    dst_store_.clear();
+    w_store_.clear();
+    owned_ = false;
+    sources_ = other.sources_;
+    offsets_ = other.offsets_;
+    dst_ = other.dst_;
+    w_ = other.w_;
+  }
+  return *this;
+}
+
+PullIndex& PullIndex::operator=(PullIndex&& other) noexcept {
+  if (this == &other) return *this;
+  owned_ = other.owned_;
+  sources_store_ = std::move(other.sources_store_);
+  offsets_store_ = std::move(other.offsets_store_);
+  dst_store_ = std::move(other.dst_store_);
+  w_store_ = std::move(other.w_store_);
+  sources_ = other.sources_;
+  offsets_ = other.offsets_;
+  dst_ = other.dst_;
+  w_ = other.w_;
+  other.owned_ = true;
+  other.sources_ = {};
+  other.offsets_ = {};
+  other.dst_ = {};
+  other.w_ = {};
+  return *this;
+}
+
+std::uint64_t PullIndex::resident_bytes() const noexcept {
+  return sources_store_.capacity() * sizeof(VertexId) +
+         offsets_store_.capacity() * sizeof(std::uint64_t) +
+         dst_store_.capacity() * sizeof(LocalId) +
+         w_store_.capacity() * sizeof(Weight);
 }
 
 PullIndex::Range PullIndex::find(VertexId s, std::size_t* index) const {

@@ -8,6 +8,12 @@
 // PullIndex: the same edges regrouped by (global) source id — the structure
 // the direction-optimized "pull" phase scans when the frontier is broadcast
 // instead of pushing per-edge messages.
+//
+// Both structures are *views* over their arrays: the normal construction
+// path owns them as heap vectors, while the out-of-core path (shard.hpp)
+// binds them to an mmap'd CSR shard so the engine runs with the adjacency
+// paged in on demand instead of resident.  Accessors are identical either
+// way; engines never see the difference.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +37,32 @@ class LocalCsr {
 
   /// Build from directed edges whose sources are *local* indices in
   /// [0, num_local).  Edges must already be deduplicated; they are regrouped
-  /// and weight-sorted here.
+  /// and weight-sorted here.  The resulting arrays are heap-owned.
   LocalCsr(LocalId num_local, std::vector<WireEdge> edges);
+
+  /// Non-owning view over externally-owned CSR arrays (e.g. a mapped
+  /// shard).  `offsets` must have num_local + 1 entries with offsets[0] == 0
+  /// and offsets.back() == dst.size() == w.size(); the caller keeps the
+  /// backing storage alive for the lifetime of the view (DistGraph carries
+  /// the mapping handle).  Layout invariants (per-vertex weight sort) must
+  /// already hold — the shard writer guarantees them.
+  [[nodiscard]] static LocalCsr view(LocalId num_local,
+                                     std::span<const std::uint64_t> offsets,
+                                     std::span<const VertexId> dst,
+                                     std::span<const Weight> w);
+
+  // Views alias owned vectors, so copies rebind and moves re-point.
+  LocalCsr(const LocalCsr& other) { *this = other; }
+  LocalCsr& operator=(const LocalCsr& other);
+  LocalCsr(LocalCsr&& other) noexcept { *this = std::move(other); }
+  LocalCsr& operator=(LocalCsr&& other) noexcept;
+
+  /// True when the arrays live on this object's heap (false for a view
+  /// into a mapped shard or other external storage).
+  [[nodiscard]] bool owns_storage() const noexcept { return owned_; }
+
+  /// Heap bytes this object keeps resident (0 for a mapped view).
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept;
 
   [[nodiscard]] LocalId num_local() const noexcept { return num_local_; }
   [[nodiscard]] std::uint64_t num_edges() const noexcept {
@@ -61,12 +91,26 @@ class LocalCsr {
   [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
     return offsets_;
   }
+  [[nodiscard]] std::span<const VertexId> adjacency() const noexcept {
+    return adj_dst_;
+  }
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return adj_w_;
+  }
 
  private:
+  void bind_owned();
+
   LocalId num_local_ = 0;
-  std::vector<std::uint64_t> offsets_;  // num_local_ + 1
-  std::vector<VertexId> adj_dst_;
-  std::vector<Weight> adj_w_;
+  bool owned_ = true;
+  // Owned storage (empty for views)...
+  std::vector<std::uint64_t> offsets_store_;  // num_local_ + 1
+  std::vector<VertexId> dst_store_;
+  std::vector<Weight> w_store_;
+  // ...and the views every accessor reads through.
+  std::span<const std::uint64_t> offsets_;
+  std::span<const VertexId> adj_dst_;
+  std::span<const Weight> adj_w_;
 };
 
 class PullIndex {
@@ -77,6 +121,22 @@ class PullIndex {
   /// v -> (u, w) keyed by the *global* neighbour id v.  Within each source
   /// group, destinations are weight-sorted (same reason as LocalCsr).
   static PullIndex from_csr(const LocalCsr& csr);
+
+  /// Non-owning view over externally-owned pull arrays (mapped shard);
+  /// same lifetime contract as LocalCsr::view.  `sources` are sorted
+  /// distinct global ids; `offsets` has sources.size() + 1 entries.
+  [[nodiscard]] static PullIndex view(std::span<const VertexId> sources,
+                                      std::span<const std::uint64_t> offsets,
+                                      std::span<const LocalId> dst,
+                                      std::span<const Weight> w);
+
+  PullIndex(const PullIndex& other) { *this = other; }
+  PullIndex& operator=(const PullIndex& other);
+  PullIndex(PullIndex&& other) noexcept { *this = std::move(other); }
+  PullIndex& operator=(PullIndex&& other) noexcept;
+
+  [[nodiscard]] bool owns_storage() const noexcept { return owned_; }
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept;
 
   [[nodiscard]] std::size_t num_sources() const noexcept {
     return sources_.size();
@@ -109,12 +169,28 @@ class PullIndex {
   [[nodiscard]] std::span<const VertexId> sources() const noexcept {
     return sources_;
   }
+  [[nodiscard]] std::span<const std::uint64_t> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const LocalId> destinations() const noexcept {
+    return dst_;
+  }
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return w_;
+  }
 
  private:
-  std::vector<VertexId> sources_;       // sorted distinct global ids
-  std::vector<std::uint64_t> offsets_;  // sources_.size() + 1
-  std::vector<LocalId> dst_;
-  std::vector<Weight> w_;
+  void bind_owned();
+
+  bool owned_ = true;
+  std::vector<VertexId> sources_store_;       // sorted distinct global ids
+  std::vector<std::uint64_t> offsets_store_;  // sources_.size() + 1
+  std::vector<LocalId> dst_store_;
+  std::vector<Weight> w_store_;
+  std::span<const VertexId> sources_;
+  std::span<const std::uint64_t> offsets_;
+  std::span<const LocalId> dst_;
+  std::span<const Weight> w_;
 };
 
 }  // namespace g500::graph

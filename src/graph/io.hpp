@@ -17,7 +17,10 @@
 namespace g500::graph {
 
 /// Write/read the compact binary format.  Throws std::runtime_error on I/O
-/// failure or malformed input (bad magic, truncated payload).
+/// failure or malformed input.  The header is treated as untrusted: the
+/// reader refuses edge counts the stream cannot hold (no blind reserve),
+/// rejects records whose endpoints fall outside [0, num_vertices), and
+/// keeps the per-record truncation check for non-seekable streams.
 void write_edge_list_binary(const std::string& path, const EdgeList& list);
 [[nodiscard]] EdgeList read_edge_list_binary(const std::string& path);
 
@@ -27,7 +30,8 @@ void write_edge_list_binary(std::ostream& out, const EdgeList& list);
 
 /// TSV: one "src dst [weight]" line per edge, whitespace-separated, lines
 /// starting with '#' ignored.  num_vertices is max endpoint + 1 unless a
-/// "# vertices: N" header raises it.
+/// "# vertices: N" header raises it.  An *absent* weight column defaults
+/// to 1.0; an unparseable one ("abc", "0.5junk") is a malformed line.
 void write_edge_list_tsv(std::ostream& out, const EdgeList& list);
 [[nodiscard]] EdgeList read_edge_list_tsv(std::istream& in);
 
